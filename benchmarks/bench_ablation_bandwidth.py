@@ -1,0 +1,64 @@
+"""Ablation — intercluster bus bandwidth.
+
+The paper fixes the network at 1 move/cycle ("The intercluster network
+bandwidth allows for 1 move per cycle").  This sweep varies the bandwidth
+to show how much of the partitioned-memory gap is bandwidth- vs
+latency-bound at the default 5-cycle latency.
+"""
+
+from functools import lru_cache
+
+from harness import prepared
+
+from repro.evalmodel import arithmetic_mean, format_table
+from repro.machine import InterclusterNetwork, Machine, paper_cluster
+from repro.pipeline.schemes import run_scheme
+
+SAMPLE = ("rawcaudio", "fsed", "mpeg2enc", "viterbi")
+BANDWIDTHS = (1, 2, 4)
+LAT = 5
+
+
+def machine_with_bandwidth(bw: int) -> Machine:
+    return Machine(
+        [paper_cluster("c0"), paper_cluster("c1")],
+        InterclusterNetwork(LAT, bandwidth=bw),
+    )
+
+
+@lru_cache(maxsize=None)
+def outcome_bw(name: str, scheme: str, bw: int):
+    return run_scheme(prepared(name), machine_with_bandwidth(bw), scheme)
+
+
+def compute():
+    rows = []
+    for name in SAMPLE:
+        for bw in BANDWIDTHS:
+            base = outcome_bw(name, "unified", bw).cycles
+            gdp = outcome_bw(name, "gdp", bw).cycles
+            rows.append([name, bw, round(base / gdp, 3)])
+    return rows
+
+
+def test_ablation_bus_bandwidth(benchmark):
+    rows = benchmark.pedantic(compute, rounds=1, iterations=1)
+    print()
+    print(f"Ablation: bus bandwidth sweep at {LAT}-cycle latency "
+          "(GDP relative to unified)")
+    print(format_table(["benchmark", "moves/cycle", "GDP rel"], rows))
+    by_bw = {
+        bw: arithmetic_mean([r[2] for r in rows if r[1] == bw])
+        for bw in BANDWIDTHS
+    }
+    print(f"\naverages: {by_bw}")
+    assert all(v > 0.5 for v in by_bw.values())
+
+
+def test_wider_bus_never_hurts_gdp_absolute():
+    """More bandwidth can only help (or leave unchanged) GDP's absolute
+    cycle count on each benchmark."""
+    for name in SAMPLE:
+        narrow = outcome_bw(name, "gdp", 1).cycles
+        wide = outcome_bw(name, "gdp", 4).cycles
+        assert wide <= narrow * 1.02, name

@@ -1,0 +1,64 @@
+"""Figure 10 — increase in dynamic intercluster moves at 5-cycle latency.
+
+Paper: "Figure 10 shows the increase in dynamic intercluster
+communication operations for the GDP and Profile Max methods over the
+single, unified memory processor ... For most of the Mediabench
+benchmarks, the GDP method has far fewer dynamic intercluster move
+operations executing."
+"""
+
+from harness import FULL_SUITE, move_increase_pct, outcome
+
+from repro.evalmodel import arithmetic_mean, format_table
+
+LAT = 5
+
+
+def compute_fig10():
+    rows = []
+    for name in FULL_SUITE:
+        rows.append(
+            [
+                name,
+                round(move_increase_pct(name, "gdp", LAT), 1),
+                round(move_increase_pct(name, "profilemax", LAT), 1),
+                round(move_increase_pct(name, "naive", LAT), 1),
+            ]
+        )
+    return rows
+
+
+def test_fig10_move_increase(benchmark):
+    rows = benchmark.pedantic(compute_fig10, rounds=1, iterations=1)
+    print()
+    print(
+        "Figure 10: % increase in dynamic intercluster moves vs unified "
+        f"memory ({LAT}-cycle latency)"
+    )
+    print(format_table(["benchmark", "GDP", "ProfileMax", "naive"], rows))
+
+    gdp_avg = arithmetic_mean([r[1] for r in rows])
+    pmax_avg = arithmetic_mean([r[2] for r in rows])
+    print(f"\naverages: GDP {gdp_avg:.1f}%  ProfileMax {pmax_avg:.1f}%")
+    # GDP should not generate more traffic than Profile Max on average.
+    assert gdp_avg <= pmax_avg + 10.0
+
+
+def test_fig10_gdp_sometimes_below_unified():
+    """Paper: "in many cases partitioning the memory has less intercluster
+    traffic than the single memory architecture" thanks to the
+    program-level pre-partition."""
+    decreases = [
+        n for n in FULL_SUITE if move_increase_pct(n, "gdp", LAT) < 0.0
+    ]
+    assert decreases, "expected at least one benchmark with fewer moves"
+
+
+def test_fig10_traffic_correlates_with_performance():
+    """fsed-style behaviour: the benchmark with the largest GDP move
+    increase should be among the weaker performers (paper correlates the
+    fsed spike in Fig. 10 with its Fig. 8 loss)."""
+    worst = max(FULL_SUITE, key=lambda n: move_increase_pct(n, "gdp", LAT))
+    base = outcome(worst, "unified", LAT).cycles
+    rel = base / outcome(worst, "gdp", LAT).cycles
+    assert rel < 1.05

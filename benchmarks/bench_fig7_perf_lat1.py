@@ -1,0 +1,37 @@
+"""Figure 7 — GDP and Profile Max vs unified memory at 1-cycle latency.
+
+Paper: "for most benchmarks, both the GDP and Profile Max methods are
+able to perform well, and match the performance of a unified memory
+model.  This occurs because with such a low latency penalty for
+intercluster network traffic, the need to make intelligent object
+placement decisions becomes less important."
+"""
+
+from harness import FULL_SUITE, performance_figure, relative_performance
+
+from repro.evalmodel import arithmetic_mean
+
+
+def test_fig7_performance_lat1(benchmark):
+    text = benchmark.pedantic(
+        performance_figure, args=(1,), rounds=1, iterations=1
+    )
+    print()
+    print("Figure 7:", text, sep="\n")
+
+    gdp_avg = arithmetic_mean(
+        [relative_performance(n, "gdp", 1) for n in FULL_SUITE]
+    )
+    pmax_avg = arithmetic_mean(
+        [relative_performance(n, "profilemax", 1) for n in FULL_SUITE]
+    )
+    # At 1-cycle latency both methods approach unified parity.
+    assert gdp_avg > 0.90
+    assert pmax_avg > 0.88
+
+
+def test_fig7_most_benchmarks_near_parity():
+    near = [
+        n for n in FULL_SUITE if relative_performance(n, "gdp", 1) > 0.9
+    ]
+    assert len(near) >= len(FULL_SUITE) * 0.6

@@ -1,0 +1,51 @@
+"""Figure 8(b) — GDP and Profile Max vs unified memory at 10-cycle latency.
+
+Paper numbers: "For the 10-cycle intercluster communication latency case,
+the GDP is on average 96.3% of the single memory performance, while the
+Profile Max scheme is 88.1%."  And: "Comparing the 5-cycle and 10-cycle
+latency results shows a larger gap between the two methods."
+"""
+
+from harness import FULL_SUITE, performance_figure, relative_performance
+
+from repro.evalmodel import arithmetic_mean
+
+PAPER_GDP_AVG = 0.963
+PAPER_PMAX_AVG = 0.881
+
+
+def _avg(scheme: str, latency: int) -> float:
+    return arithmetic_mean(
+        [relative_performance(n, scheme, latency) for n in FULL_SUITE]
+    )
+
+
+def test_fig8b_performance_lat10(benchmark):
+    text = benchmark.pedantic(
+        performance_figure, args=(10,), rounds=1, iterations=1
+    )
+    print()
+    print("Figure 8(b):", text, sep="\n")
+    gdp_avg = _avg("gdp", 10)
+    pmax_avg = _avg("profilemax", 10)
+    print(
+        f"\naverages: GDP {gdp_avg:.3f} (paper {PAPER_GDP_AVG}), "
+        f"ProfileMax {pmax_avg:.3f} (paper {PAPER_PMAX_AVG})"
+    )
+    assert gdp_avg > pmax_avg - 0.01
+    assert gdp_avg > 0.80
+
+
+def test_fig8_gap_widens_with_latency():
+    """The GDP-vs-ProfileMax gap should not shrink when latency rises
+    from 5 to 10 cycles (paper Section 4.2)."""
+    gap5 = _avg("gdp", 5) - _avg("profilemax", 5)
+    gap10 = _avg("gdp", 10) - _avg("profilemax", 10)
+    assert gap10 >= gap5 - 0.03
+
+
+def test_fig8_both_beat_naive_at_high_latency():
+    """Both data-cognizant methods outperform the Naive post-pass at
+    10-cycle latency on average."""
+    naive_avg = _avg("naive", 10)
+    assert _avg("gdp", 10) > naive_avg - 0.02

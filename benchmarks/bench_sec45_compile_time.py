@@ -1,0 +1,69 @@
+"""Section 4.5 — effects on compile time.
+
+Paper: "The Profile Max partitioner is actually two complete runs of this
+detailed computation partitioner. ... Since the GDP method only requires
+one run of this detailed computation partitioner, the compile time is
+significantly reduced.  This is similar to the run time of the Naive
+method."
+"""
+
+from harness import FULL_SUITE, outcome
+
+from repro.evalmodel import format_table
+
+LAT = 5
+SAMPLE = FULL_SUITE[:8]
+
+
+def compute_times():
+    rows = []
+    for name in SAMPLE:
+        gdp = outcome(name, "gdp", LAT)
+        pmax = outcome(name, "profilemax", LAT)
+        naive = outcome(name, "naive", LAT)
+        rows.append(
+            [
+                name,
+                round(gdp.rhop_seconds, 3),
+                round(pmax.rhop_seconds, 3),
+                round(naive.rhop_seconds, 3),
+                gdp.rhop_runs,
+                pmax.rhop_runs,
+            ]
+        )
+    return rows
+
+
+def test_sec45_compile_time(benchmark):
+    rows = benchmark.pedantic(compute_times, rounds=1, iterations=1)
+    print()
+    print("Section 4.5: detailed-partitioner time per scheme (seconds)")
+    print(
+        format_table(
+            ["benchmark", "GDP", "ProfileMax", "naive", "GDP runs", "PMax runs"],
+            rows,
+        )
+    )
+    gdp_total = sum(r[1] for r in rows)
+    pmax_total = sum(r[2] for r in rows)
+    naive_total = sum(r[3] for r in rows)
+    print(
+        f"\ntotals: GDP {gdp_total:.2f}s, ProfileMax {pmax_total:.2f}s, "
+        f"naive {naive_total:.2f}s"
+    )
+    # Profile Max runs the detailed partitioner twice; its time should be
+    # clearly larger than GDP's single run and roughly double.
+    assert pmax_total > gdp_total * 1.3
+    # GDP and naive both run it once.
+    assert abs(gdp_total - naive_total) < 0.7 * max(gdp_total, naive_total)
+
+
+def test_sec45_run_counts():
+    gdp = outcome("rawcaudio", "gdp", LAT)
+    pmax = outcome("rawcaudio", "profilemax", LAT)
+    naive = outcome("rawcaudio", "naive", LAT)
+    unified = outcome("rawcaudio", "unified", LAT)
+    assert gdp.rhop_runs == 1
+    assert pmax.rhop_runs == 2
+    assert naive.rhop_runs == 1
+    assert unified.rhop_runs == 1

@@ -1,0 +1,6 @@
+"""Pytest configuration for the figure/table benches."""
+
+import os
+import sys
+
+sys.path.insert(0, os.path.dirname(__file__))

@@ -1,0 +1,91 @@
+"""Shared machinery for the figure/table benches.
+
+Prepared programs and scheme outcomes are cached for the lifetime of the
+pytest session so that figures sharing data (e.g. Fig. 8a and Fig. 10 both
+need the 5-cycle outcomes) compute it once.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+from typing import Dict, List, Tuple
+
+from repro.bench import all_benchmarks, get as get_benchmark, names as bench_names
+from repro.evalmodel import arithmetic_mean, bar_chart, format_table
+from repro.machine import two_cluster_machine
+from repro.pipeline import PreparedProgram
+from repro.pipeline.schemes import SchemeOutcome, run_scheme
+
+#: The benchmark set used for the full-suite figures (Figs. 2, 7, 8, 10).
+FULL_SUITE: Tuple[str, ...] = tuple(bench_names())
+
+#: The benchmarks small enough for the exhaustive search of Figure 9.
+FIG9_SUITE: Tuple[str, ...] = ("rawcaudio", "rawdaudio")
+
+LATENCIES: Tuple[int, ...] = (1, 5, 10)
+
+
+@lru_cache(maxsize=None)
+def prepared(name: str) -> PreparedProgram:
+    bench = get_benchmark(name)
+    return PreparedProgram.from_source(bench.source, bench.name)
+
+
+@lru_cache(maxsize=None)
+def outcome(name: str, scheme: str, latency: int) -> SchemeOutcome:
+    machine = two_cluster_machine(move_latency=latency)
+    return run_scheme(prepared(name), machine, scheme)
+
+
+def relative_performance(name: str, scheme: str, latency: int) -> float:
+    """Cycles(unified) / cycles(scheme): 1.0 = unified-memory parity."""
+    base = outcome(name, "unified", latency).cycles
+    cycles = outcome(name, scheme, latency).cycles
+    return base / cycles if cycles else 0.0
+
+
+def cycle_increase_pct(name: str, scheme: str, latency: int) -> float:
+    """Percentage increase in cycles over the unified model (Figure 2)."""
+    base = outcome(name, "unified", latency).cycles
+    cycles = outcome(name, scheme, latency).cycles
+    return 100.0 * (cycles - base) / base if base else 0.0
+
+
+def move_increase_pct(name: str, scheme: str, latency: int) -> float:
+    """Percentage increase in dynamic intercluster moves (Figure 10)."""
+    base = outcome(name, "unified", latency).dynamic_moves
+    moves = outcome(name, scheme, latency).dynamic_moves
+    if base == 0:
+        return 0.0 if moves == 0 else 100.0
+    return 100.0 * (moves - base) / base
+
+
+def performance_figure(latency: int, suite=FULL_SUITE) -> str:
+    """Render one of Figs. 7 / 8(a) / 8(b)."""
+    rows: List[List[object]] = []
+    gdp_vals: List[float] = []
+    pmax_vals: List[float] = []
+    for name in suite:
+        g = relative_performance(name, "gdp", latency)
+        p = relative_performance(name, "profilemax", latency)
+        rows.append([name, g, p])
+        gdp_vals.append(g)
+        pmax_vals.append(p)
+    rows.append(["average", arithmetic_mean(gdp_vals), arithmetic_mean(pmax_vals)])
+    naive_avg = arithmetic_mean(
+        [relative_performance(n, "naive", latency) for n in suite]
+    )
+    rows.append(["average(naive)", naive_avg, ""])
+    table = format_table(["benchmark", "GDP", "ProfileMax"], rows)
+    chart = bar_chart(
+        list(suite),
+        {
+            "GDP ": [relative_performance(n, "gdp", latency) for n in suite],
+            "PMax": [relative_performance(n, "profilemax", latency) for n in suite],
+        },
+        baseline=1.0,
+    )
+    return (
+        f"Relative performance vs unified memory, {latency}-cycle move "
+        f"latency (higher is better, 1.0 = unified parity)\n\n{table}\n\n{chart}"
+    )

@@ -1,0 +1,26 @@
+"""repro: compiler-directed data partitioning for multicluster processors.
+
+A from-scratch reproduction of Chu & Mahlke, *Compiler-directed Data
+Partitioning for Multicluster Processors* (CGO 2006): a MiniC compiler
+frontend, whole-program analyses, a profiling interpreter, a clustered-VLIW
+machine model and list scheduler, a multilevel graph partitioner, and the
+paper's Global Data Partitioning algorithm with its evaluation baselines.
+
+Typical use::
+
+    from repro import compile_source
+    from repro.machine import two_cluster_machine
+    from repro.pipeline import Pipeline
+
+    module = compile_source(MINIC_SOURCE)
+    machine = two_cluster_machine(move_latency=5)
+    result = Pipeline(machine).run(module, scheme="gdp")
+    print(result.cycles)
+"""
+
+__version__ = "1.0.0"
+
+from .ir import Module, verify_module
+from .lang import compile_source
+
+__all__ = ["Module", "verify_module", "compile_source", "__version__"]

@@ -1,0 +1,35 @@
+"""Whole-program analyses: CFG, dominators, loops, liveness, def-use,
+call graph, points-to, data objects, and the program-level DFG."""
+
+from .callgraph import CallGraph
+from .cfg import CFG
+from .defuse import DefUse
+from .dfg import ProgramGraph, ProgramNode
+from .dominators import DominatorTree
+from .liveness import Liveness
+from .loops import Loop, LoopInfo
+from .objects import DataObject, ObjectTable
+from .pointsto import (
+    PointsTo,
+    annotate_memory_ops,
+    global_object_id,
+    heap_object_id,
+)
+
+__all__ = [
+    "CallGraph",
+    "CFG",
+    "DefUse",
+    "ProgramGraph",
+    "ProgramNode",
+    "DominatorTree",
+    "Liveness",
+    "Loop",
+    "LoopInfo",
+    "DataObject",
+    "ObjectTable",
+    "PointsTo",
+    "annotate_memory_ops",
+    "global_object_id",
+    "heap_object_id",
+]

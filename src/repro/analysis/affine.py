@@ -1,0 +1,140 @@
+"""Block-local affine address analysis for memory disambiguation.
+
+Trimaran-class compilers disambiguate array accesses whose addresses
+differ by a known constant (``a[i]`` vs ``a[i-1]``); without that, every
+store to an array serialises against every later load of it and unrolled
+loops lose all their parallelism.
+
+Each address is expressed as an *affine form*: a linear combination of
+opaque atoms (live-in registers, load results — versioned so register
+redefinition is handled soundly in the non-SSA IR) plus a constant.  Two
+accesses with identical symbolic parts and non-overlapping
+``[const, const+width)`` intervals cannot alias.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Tuple
+
+from ..ir import BasicBlock, Constant, GlobalAddress, Opcode, Operation, VirtualRegister
+
+
+class Affine:
+    """``sum(coeff * atom) + const`` with integer coefficients.
+
+    Atoms are hashable opaque value identities; the form is immutable.
+    """
+
+    __slots__ = ("terms", "const")
+
+    def __init__(self, terms: Dict, const: int):
+        self.terms = {t: c for t, c in terms.items() if c != 0}
+        self.const = const
+
+    @staticmethod
+    def constant(value: int) -> "Affine":
+        return Affine({}, value)
+
+    @staticmethod
+    def atom(identity) -> "Affine":
+        return Affine({identity: 1}, 0)
+
+    def add(self, other: "Affine") -> "Affine":
+        terms = dict(self.terms)
+        for t, c in other.terms.items():
+            terms[t] = terms.get(t, 0) + c
+        return Affine(terms, self.const + other.const)
+
+    def negate(self) -> "Affine":
+        return Affine({t: -c for t, c in self.terms.items()}, -self.const)
+
+    def scale(self, factor: int) -> "Affine":
+        return Affine(
+            {t: c * factor for t, c in self.terms.items()}, self.const * factor
+        )
+
+    def same_symbolic(self, other: "Affine") -> bool:
+        return self.terms == other.terms
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        parts = [f"{c}*{t}" for t, c in self.terms.items()]
+        parts.append(str(self.const))
+        return " + ".join(parts)
+
+
+class AffineAddresses:
+    """Affine forms for every memory access address in one block."""
+
+    def __init__(self, block: BasicBlock):
+        self.address_of: Dict[int, Affine] = {}  # op uid -> affine address
+        env: Dict[int, Affine] = {}  # vid -> current affine value
+        fresh = 0
+
+        def fresh_atom(tag) -> Affine:
+            nonlocal fresh
+            fresh += 1
+            return Affine.atom((tag, fresh))
+
+        def value_of(v) -> Affine:
+            if isinstance(v, Constant) and isinstance(v.value, int):
+                return Affine.constant(v.value)
+            if isinstance(v, GlobalAddress):
+                return Affine.atom(("g", v.symbol))
+            if isinstance(v, VirtualRegister):
+                form = env.get(v.vid)
+                if form is None:
+                    form = fresh_atom(("in", v.vid))
+                    env[v.vid] = form
+                return form
+            return fresh_atom(("k",))
+
+        for op in block.ops:
+            if op.opcode in (Opcode.LOAD, Opcode.STORE):
+                self.address_of[op.uid] = value_of(op.address_operand())
+            if op.dest is None:
+                continue
+            vid = op.dest.vid
+            if op.opcode is Opcode.MOV or op.opcode is Opcode.ICMOVE:
+                env[vid] = value_of(op.srcs[0])
+            elif op.opcode is Opcode.ADD or op.opcode is Opcode.PTRADD:
+                env[vid] = value_of(op.srcs[0]).add(value_of(op.srcs[1]))
+            elif op.opcode is Opcode.SUB:
+                env[vid] = value_of(op.srcs[0]).add(value_of(op.srcs[1]).negate())
+            elif op.opcode is Opcode.NEG:
+                env[vid] = value_of(op.srcs[0]).negate()
+            elif op.opcode is Opcode.MUL:
+                env[vid] = self._mul(value_of(op.srcs[0]), value_of(op.srcs[1]), op)
+            elif op.opcode is Opcode.SHL and isinstance(op.srcs[1], Constant):
+                env[vid] = value_of(op.srcs[0]).scale(1 << (op.srcs[1].value & 31))
+            else:
+                env[vid] = fresh_atom(("d", op.uid))
+
+        # Access widths (bytes) per memory op.
+        self.width_of: Dict[int, int] = {}
+        for op in block.ops:
+            if op.opcode is Opcode.LOAD:
+                self.width_of[op.uid] = max(op.dest.ty.size(), 1)
+            elif op.opcode is Opcode.STORE:
+                self.width_of[op.uid] = max(op.srcs[0].ty.size(), 1)
+
+    @staticmethod
+    def _mul(a: Affine, b: Affine, op: Operation) -> Affine:
+        if not a.terms:
+            return b.scale(a.const)
+        if not b.terms:
+            return a.scale(b.const)
+        return Affine.atom(("d", op.uid))
+
+    def provably_disjoint(self, a: Operation, b: Operation) -> bool:
+        """True when the two accesses cannot touch the same bytes."""
+        fa = self.address_of.get(a.uid)
+        fb = self.address_of.get(b.uid)
+        if fa is None or fb is None:
+            return False
+        if not fa.same_symbolic(fb):
+            return False
+        wa = self.width_of.get(a.uid, 1)
+        wb = self.width_of.get(b.uid, 1)
+        lo_a, hi_a = fa.const, fa.const + wa
+        lo_b, hi_b = fb.const, fb.const + wb
+        return hi_a <= lo_b or hi_b <= lo_a

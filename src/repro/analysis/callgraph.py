@@ -1,0 +1,57 @@
+"""Call graph over module functions (direct calls only — MiniC has no
+function pointers)."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Set
+
+from ..ir import Module, Operation
+
+
+class CallGraph:
+    """Caller -> callee edges plus the call sites realising them."""
+
+    def __init__(self, module: Module):
+        self.module = module
+        self.callees: Dict[str, Set[str]] = {f.name: set() for f in module}
+        self.callers: Dict[str, Set[str]] = {f.name: set() for f in module}
+        self.call_sites: Dict[str, List[Operation]] = {f.name: [] for f in module}
+        for func in module:
+            for op in func.operations():
+                if op.is_call():
+                    callee = op.attrs["callee"]
+                    if callee in self.callees:
+                        self.callees[func.name].add(callee)
+                        self.callers.setdefault(callee, set()).add(func.name)
+                        self.call_sites[callee].append(op)
+
+    def reachable_from(self, root: str = "main") -> Set[str]:
+        """Functions transitively callable from ``root``."""
+        seen: Set[str] = set()
+        work = [root] if root in self.callees else []
+        while work:
+            name = work.pop()
+            if name in seen:
+                continue
+            seen.add(name)
+            work.extend(self.callees.get(name, ()))
+        return seen
+
+    def bottom_up_order(self) -> List[str]:
+        """Callees before callers (recursion broken arbitrarily)."""
+        order: List[str] = []
+        visited: Set[str] = set()
+
+        def visit(name: str, stack: Set[str]) -> None:
+            if name in visited or name in stack:
+                return
+            stack.add(name)
+            for callee in sorted(self.callees.get(name, ())):
+                visit(callee, stack)
+            stack.remove(name)
+            visited.add(name)
+            order.append(name)
+
+        for name in self.callees:
+            visit(name, set())
+        return order

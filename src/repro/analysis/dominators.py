@@ -1,0 +1,87 @@
+"""Dominator tree construction (Cooper–Harvey–Kennedy iterative algorithm)."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Set
+
+from .cfg import CFG
+
+
+class DominatorTree:
+    """Immediate-dominator map for one function's reachable blocks."""
+
+    def __init__(self, cfg: CFG):
+        self.cfg = cfg
+        self.idom: Dict[str, Optional[str]] = {}
+        self._children: Dict[str, List[str]] = {}
+        self._compute()
+
+    def _compute(self) -> None:
+        rpo = self.cfg.reverse_postorder()
+        index = {name: i for i, name in enumerate(rpo)}
+        entry = self.cfg.entry
+        self.idom = {entry: entry}
+
+        changed = True
+        while changed:
+            changed = False
+            for name in rpo:
+                if name == entry:
+                    continue
+                candidates = [
+                    p for p in self.cfg.predecessors(name) if p in self.idom
+                ]
+                if not candidates:
+                    continue
+                new_idom = candidates[0]
+                for p in candidates[1:]:
+                    new_idom = self._intersect(new_idom, p, index)
+                if self.idom.get(name) != new_idom:
+                    self.idom[name] = new_idom
+                    changed = True
+
+        self._children = {}
+        for name, parent in self.idom.items():
+            if name != self.cfg.entry:
+                self._children.setdefault(parent, []).append(name)
+
+    def _intersect(self, a: str, b: str, index: Dict[str, int]) -> str:
+        while a != b:
+            while index[a] > index[b]:
+                a = self.idom[a]
+            while index[b] > index[a]:
+                b = self.idom[b]
+        return a
+
+    # -- queries ---------------------------------------------------------------
+
+    def immediate_dominator(self, name: str) -> Optional[str]:
+        if name == self.cfg.entry:
+            return None
+        return self.idom.get(name)
+
+    def dominates(self, a: str, b: str) -> bool:
+        """True if block ``a`` dominates block ``b`` (reflexive)."""
+        node: Optional[str] = b
+        while node is not None:
+            if node == a:
+                return True
+            if node == self.cfg.entry:
+                return False
+            node = self.idom.get(node)
+        return False
+
+    def children(self, name: str) -> List[str]:
+        return self._children.get(name, [])
+
+    def dominated_set(self, name: str) -> Set[str]:
+        """All blocks dominated by ``name`` (including itself)."""
+        result: Set[str] = set()
+        work = [name]
+        while work:
+            node = work.pop()
+            if node in result:
+                continue
+            result.add(node)
+            work.extend(self.children(node))
+        return result

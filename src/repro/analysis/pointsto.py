@@ -1,0 +1,243 @@
+"""Interprocedural Andersen-style points-to analysis.
+
+The paper uses sophisticated IPA (Nystrom et al.) to assign each static
+global and each ``malloc()`` call site a unique object id, and to mark
+every load and store with the objects it can access.  This module computes
+the same annotations for MiniC IR with a classic inclusion-based
+(Andersen) analysis: flow- and context-insensitive, field-insensitive.
+
+Abstract objects:
+
+* ``g:<name>`` — one per global variable;
+* ``h:<site>`` — one per ``MALLOC`` allocation site.
+
+The solver is the standard worklist formulation.  Nodes are pointer
+variables (registers, function returns) plus one *content* node per
+abstract object (field-insensitive summary of everything stored into it).
+``LOAD``/``STORE`` contribute complex constraints that grow the copy-edge
+graph as points-to sets grow.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, List, Optional, Set, Tuple
+
+from ..ir import Function, GlobalAddress, Module, Opcode, Operation, VirtualRegister
+
+#: Object-id constructors (shared with repro.analysis.objects).
+def global_object_id(name: str) -> str:
+    return f"g:{name}"
+
+
+def heap_object_id(site: str) -> str:
+    return f"h:{site}"
+
+
+class PointsTo:
+    """Points-to solution for a module.
+
+    Query with :meth:`objects_for_op` (which objects may a LOAD/STORE
+    touch) or :meth:`points_to` (raw register query).
+    """
+
+    def __init__(self, module: Module):
+        self.module = module
+        self._pts: Dict[Tuple, Set[str]] = {}
+        self._copy_edges: Dict[Tuple, Set[Tuple]] = {}
+        self._loads: List[Tuple[Tuple, Tuple]] = []   # (addr_node, dest_node)
+        self._stores: List[Tuple[Tuple, Tuple]] = []  # (value_node, addr_node)
+        self._solve()
+
+    # -- node naming --------------------------------------------------------------
+
+    @staticmethod
+    def _reg(func: str, reg: VirtualRegister) -> Tuple:
+        return ("r", func, reg.vid)
+
+    @staticmethod
+    def _content(obj: str) -> Tuple:
+        return ("c", obj)
+
+    @staticmethod
+    def _ret(func: str) -> Tuple:
+        return ("ret", func)
+
+    # -- constraint generation ------------------------------------------------------
+
+    def _value_node(self, func: str, value, out_constants: Set[str]) -> Optional[Tuple]:
+        """Node for a source value; GlobalAddress contributes a constant."""
+        if isinstance(value, GlobalAddress):
+            out_constants.add(global_object_id(value.symbol))
+            return None
+        if isinstance(value, VirtualRegister):
+            return self._reg(func, value)
+        return None
+
+    def _add_pts(self, node: Tuple, objs: Set[str], worklist: List[Tuple]) -> None:
+        if not objs:
+            return
+        current = self._pts.setdefault(node, set())
+        new = objs - current
+        if new:
+            current |= new
+            worklist.append(node)
+
+    def _add_copy(self, src: Tuple, dst: Tuple, worklist: List[Tuple]) -> None:
+        edges = self._copy_edges.setdefault(src, set())
+        if dst not in edges:
+            edges.add(dst)
+            objs = self._pts.get(src)
+            if objs:
+                self._add_pts(dst, set(objs), worklist)
+
+    def _solve(self) -> None:
+        worklist: List[Tuple] = []
+
+        for func in self.module:
+            fname = func.name
+            for op in func.operations():
+                if op.opcode is Opcode.MALLOC:
+                    obj = heap_object_id(op.attrs["site"])
+                    self._add_pts(self._reg(fname, op.dest), {obj}, worklist)
+                elif op.opcode in (Opcode.MOV, Opcode.PTRADD, Opcode.ICMOVE):
+                    self._constrain_copy_like(fname, op, worklist)
+                elif op.opcode is Opcode.SELECT:
+                    consts: Set[str] = set()
+                    for src in op.srcs[1:]:
+                        node = self._value_node(fname, src, consts)
+                        if node is not None:
+                            self._add_copy(node, self._reg(fname, op.dest), worklist)
+                    self._add_pts(self._reg(fname, op.dest), consts, worklist)
+                elif op.opcode is Opcode.LOAD:
+                    self._constrain_load(fname, op, worklist)
+                elif op.opcode is Opcode.STORE:
+                    self._constrain_store(fname, op, worklist)
+                elif op.opcode is Opcode.CALL:
+                    self._constrain_call(fname, op, worklist)
+                elif op.opcode is Opcode.RET and op.srcs:
+                    consts = set()
+                    node = self._value_node(fname, op.srcs[0], consts)
+                    if node is not None:
+                        self._add_copy(node, self._ret(fname), worklist)
+                    self._add_pts(self._ret(fname), consts, worklist)
+
+        # Fixed point: propagate along copy edges, expanding load/store
+        # constraints as address sets grow.
+        processed_load: Dict[Tuple, Set[str]] = {}
+        processed_store: Dict[Tuple, Set[str]] = {}
+        while worklist:
+            node = worklist.pop()
+            objs = set(self._pts.get(node, ()))
+            for dst in list(self._copy_edges.get(node, ())):
+                self._add_pts(dst, objs, worklist)
+            for addr_node, dest_node in self._loads:
+                if addr_node == node:
+                    done = processed_load.setdefault((addr_node, dest_node), set())
+                    for obj in objs - done:
+                        self._add_copy(self._content(obj), dest_node, worklist)
+                    done |= objs
+            for value_node, addr_node in self._stores:
+                if addr_node == node:
+                    done = processed_store.setdefault((value_node, addr_node), set())
+                    for obj in objs - done:
+                        self._add_copy(value_node, self._content(obj), worklist)
+                    done |= objs
+
+    def _constrain_copy_like(self, fname: str, op: Operation, worklist) -> None:
+        if op.dest is None or not op.dest.ty.is_pointer():
+            # Copies of non-pointers cannot carry addresses... except PTRADD,
+            # whose dest is always a pointer by construction.
+            if op.opcode is not Opcode.PTRADD:
+                return
+        consts: Set[str] = set()
+        node = self._value_node(fname, op.srcs[0], consts)
+        if node is not None:
+            self._add_copy(node, self._reg(fname, op.dest), worklist)
+        self._add_pts(self._reg(fname, op.dest), consts, worklist)
+
+    def _constrain_load(self, fname: str, op: Operation, worklist) -> None:
+        consts: Set[str] = set()
+        addr_node = self._value_node(fname, op.srcs[0], consts)
+        dest_node = self._reg(fname, op.dest)
+        if op.dest.ty.is_pointer():
+            for obj in consts:
+                self._add_copy(self._content(obj), dest_node, worklist)
+            if addr_node is not None:
+                self._loads.append((addr_node, dest_node))
+                objs = self._pts.get(addr_node)
+                if objs:
+                    worklist.append(addr_node)
+
+    def _constrain_store(self, fname: str, op: Operation, worklist) -> None:
+        value, addr = op.srcs[0], op.srcs[1]
+        if not value.ty.is_pointer() and not isinstance(value, GlobalAddress):
+            return
+        vconsts: Set[str] = set()
+        value_node = self._value_node(fname, value, vconsts)
+        aconsts: Set[str] = set()
+        addr_node = self._value_node(fname, addr, aconsts)
+        if value_node is None:
+            # Storing a constant address: seed the content nodes directly.
+            for obj in aconsts:
+                self._add_pts(self._content(obj), vconsts, worklist)
+            if addr_node is not None and vconsts:
+                fake = ("k", op.uid)
+                self._add_pts(fake, vconsts, worklist)
+                self._stores.append((fake, addr_node))
+        else:
+            for obj in aconsts:
+                self._add_copy(value_node, self._content(obj), worklist)
+            if addr_node is not None:
+                self._stores.append((value_node, addr_node))
+                if self._pts.get(addr_node):
+                    worklist.append(addr_node)
+
+    def _constrain_call(self, fname: str, op: Operation, worklist) -> None:
+        callee = op.attrs.get("callee")
+        if callee not in self.module.functions:
+            return
+        callee_fn = self.module.functions[callee]
+        for arg, param in zip(op.srcs[1:], callee_fn.params):
+            consts: Set[str] = set()
+            node = self._value_node(fname, arg, consts)
+            pnode = self._reg(callee, param)
+            if node is not None:
+                self._add_copy(node, pnode, worklist)
+            self._add_pts(pnode, consts, worklist)
+        if op.dest is not None and op.dest.ty.is_pointer():
+            self._add_copy(self._ret(callee), self._reg(fname, op.dest), worklist)
+
+    # -- queries --------------------------------------------------------------------
+
+    def points_to(self, func: str, reg: VirtualRegister) -> FrozenSet[str]:
+        return frozenset(self._pts.get(self._reg(func, reg), ()))
+
+    def objects_for_address(self, func: str, addr) -> FrozenSet[str]:
+        """Objects an address value may point into."""
+        if isinstance(addr, GlobalAddress):
+            return frozenset({global_object_id(addr.symbol)})
+        if isinstance(addr, VirtualRegister):
+            return self.points_to(func, addr)
+        return frozenset()
+
+    def objects_for_op(self, func: str, op: Operation) -> FrozenSet[str]:
+        """Objects a LOAD/STORE may access (empty for other ops)."""
+        addr = op.address_operand()
+        if addr is None:
+            return frozenset()
+        return self.objects_for_address(func, addr)
+
+
+def annotate_memory_ops(module: Module, pointsto: Optional[PointsTo] = None) -> PointsTo:
+    """Mark every LOAD/STORE with ``mem_objects`` and every MALLOC with its
+    heap object id.  Returns the points-to solution used."""
+    pts = pointsto or PointsTo(module)
+    for func in module:
+        for op in func.operations():
+            if op.is_memory_access():
+                op.attrs["mem_objects"] = pts.objects_for_op(func.name, op)
+            elif op.opcode is Opcode.MALLOC:
+                op.attrs["mem_objects"] = frozenset(
+                    {heap_object_id(op.attrs["site"])}
+                )
+    return pts

@@ -1,0 +1,166 @@
+"""rawcaudio / rawdaudio — IMA ADPCM coder and decoder.
+
+MiniC ports of the Mediabench ``adpcm`` application (Intel/DVI ADPCM,
+Jack Jansen's reference coder).  These are the two benchmarks the paper
+examines exhaustively in Figure 9, so their data-object counts are kept
+small: the step-size table, the index-adjustment table, the PCM buffer,
+the code buffer, and the two-word predictor state.
+"""
+
+from .registry import Benchmark, register
+
+_STEPSIZE_TABLE = (
+    "int stepsizeTable[89] = {7, 8, 9, 10, 11, 12, 13, 14, 16, 17, 19, 21,\n"
+    "  23, 25, 28, 31, 34, 37, 41, 45, 50, 55, 60, 66, 73, 80, 88, 97, 107,\n"
+    "  118, 130, 143, 157, 173, 190, 209, 230, 253, 279, 307, 337, 371, 408,\n"
+    "  449, 494, 544, 598, 658, 724, 796, 876, 963, 1060, 1166, 1282, 1411,\n"
+    "  1552, 1707, 1878, 2066, 2272, 2499, 2749, 3024, 3327, 3660, 4026,\n"
+    "  4428, 4871, 5358, 5894, 6484, 7132, 7845, 8630, 9493, 10442, 11487,\n"
+    "  12635, 13899, 15289, 16818, 18500, 20350, 22385, 24623, 27086, 29794,\n"
+    "  32767};\n"
+    "int indexTable[16] = {-1, -1, -1, -1, 2, 4, 6, 8,\n"
+    "                      -1, -1, -1, -1, 2, 4, 6, 8};\n"
+)
+
+RAWCAUDIO_SOURCE = (
+    """
+int NSAMP = 512;
+"""
+    + _STEPSIZE_TABLE
+    + """
+int pcm[512];
+int code[512];
+int state_valpred = 0;
+int state_index = 0;
+
+/* One 4-bit code per output word (the unpacked variant common in DSP
+   ports: it keeps the inner loop free of conditional stores). */
+void adpcm_coder(int *inp, int *outp, int len) {
+  int valpred = state_valpred;
+  int index = state_index;
+  int step = stepsizeTable[index];
+  int i;
+  for (i = 0; i < len; i = i + 1) {
+    int val = inp[i];
+    int diff = val - valpred;
+    int sign = 0;
+    if (diff < 0) { sign = 8; diff = -diff; }
+    int delta = 0;
+    int vpdiff = step >> 3;
+    if (diff >= step) { delta = 4; diff = diff - step; vpdiff = vpdiff + step; }
+    step = step >> 1;
+    if (diff >= step) { delta = delta | 2; diff = diff - step; vpdiff = vpdiff + step; }
+    step = step >> 1;
+    if (diff >= step) { delta = delta | 1; vpdiff = vpdiff + step; }
+    if (sign) { valpred = valpred - vpdiff; }
+    else { valpred = valpred + vpdiff; }
+    if (valpred > 32767) { valpred = 32767; }
+    else { if (valpred < -32768) { valpred = -32768; } }
+    delta = delta | sign;
+    index = index + indexTable[delta];
+    if (index < 0) { index = 0; }
+    if (index > 88) { index = 88; }
+    step = stepsizeTable[index];
+    outp[i] = delta;
+  }
+  state_valpred = valpred;
+  state_index = index;
+}
+
+int main() {
+  int i;
+  int seed = 7;
+  for (i = 0; i < NSAMP; i = i + 1) {
+    seed = seed * 1103515245 + 12345;
+    int noise = (seed >> 18) & 1023;
+    int wave = ((i & 63) - 32) * 700;
+    pcm[i] = wave + noise - 512;
+  }
+  adpcm_coder(pcm, code, NSAMP);
+  int sum = 0;
+  for (i = 0; i < NSAMP; i = i + 1) {
+    sum = (sum + code[i] * (i + 1)) & 16777215;
+  }
+  print_int(sum);
+  print_int(state_valpred);
+  print_int(state_index);
+  return sum;
+}
+"""
+)
+
+RAWDAUDIO_SOURCE = (
+    """
+int NBYTES = 256;
+"""
+    + _STEPSIZE_TABLE
+    + """
+int code[512];
+int pcm_out[512];
+int state_valpred = 0;
+int state_index = 0;
+
+/* One 4-bit code per input word (unpacked variant). */
+void adpcm_decoder(int *inp, int *outp, int len) {
+  int valpred = state_valpred;
+  int index = state_index;
+  int step = stepsizeTable[index];
+  int i;
+  for (i = 0; i < len; i = i + 1) {
+    int delta = inp[i] & 15;
+    index = index + indexTable[delta];
+    if (index < 0) { index = 0; }
+    if (index > 88) { index = 88; }
+    int sign = delta & 8;
+    delta = delta & 7;
+    int vpdiff = step >> 3;
+    if (delta & 4) { vpdiff = vpdiff + step; }
+    if (delta & 2) { vpdiff = vpdiff + (step >> 1); }
+    if (delta & 1) { vpdiff = vpdiff + (step >> 2); }
+    if (sign) { valpred = valpred - vpdiff; }
+    else { valpred = valpred + vpdiff; }
+    if (valpred > 32767) { valpred = 32767; }
+    else { if (valpred < -32768) { valpred = -32768; } }
+    step = stepsizeTable[index];
+    outp[i] = valpred;
+  }
+  state_valpred = valpred;
+  state_index = index;
+}
+
+int main() {
+  int i;
+  int seed = 99;
+  for (i = 0; i < NBYTES * 2; i = i + 1) {
+    seed = seed * 1103515245 + 12345;
+    code[i] = (seed >> 20) & 15;
+  }
+  adpcm_decoder(code, pcm_out, NBYTES * 2);
+  int sum = 0;
+  for (i = 0; i < NBYTES * 2; i = i + 1) {
+    sum = (sum + pcm_out[i]) & 16777215;
+  }
+  print_int(sum);
+  print_int(state_index);
+  return sum;
+}
+"""
+)
+
+register(
+    Benchmark(
+        "rawcaudio",
+        RAWCAUDIO_SOURCE,
+        "IMA ADPCM speech coder (Mediabench adpcm rawcaudio)",
+        "mediabench",
+    )
+)
+
+register(
+    Benchmark(
+        "rawdaudio",
+        RAWDAUDIO_SOURCE,
+        "IMA ADPCM speech decoder (Mediabench adpcm rawdaudio)",
+        "mediabench",
+    )
+)

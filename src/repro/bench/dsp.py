@@ -1,0 +1,225 @@
+"""DSP kernels: fsed, sobel, fir, latnrm.
+
+The "set of DSP kernels" of Section 4.1.  ``fsed`` (Floyd–Steinberg error
+diffusion) is called out by name in the paper as the benchmark with the
+largest intercluster-move increase in Figure 10.
+"""
+
+from .registry import Benchmark, register
+
+FSED_SOURCE = """
+int W = 48;
+int H = 32;
+int image[1536];
+int errbuf[100];
+int bitmap[1536];
+int threshold = 128;
+
+int main() {
+  int i;
+  int seed = 21;
+  for (i = 0; i < W * H; i = i + 1) {
+    int x = i % W;
+    seed = seed * 1103515245 + 12345;
+    image[i] = ((x * 5) & 255) / 2 + ((seed >> 20) & 127);
+  }
+  for (i = 0; i < W + 2; i = i + 1) {
+    errbuf[i] = 0;
+  }
+  int y;
+  for (y = 0; y < H; y = y + 1) {
+    int carry = 0;
+    int x;
+    for (x = 0; x < W; x = x + 1) {
+      int old = image[y * W + x] + carry + errbuf[x + 1];
+      int newv = 0;
+      if (old >= threshold) { newv = 255; }
+      int err = old - newv;
+      bitmap[y * W + x] = newv / 255;
+      carry = (err * 7) / 16;
+      errbuf[x] = errbuf[x] + (err * 3) / 16;
+      errbuf[x + 1] = (err * 5) / 16;
+      errbuf[x + 2] = errbuf[x + 2] + err / 16;
+    }
+  }
+  int ones = 0;
+  int sig = 0;
+  for (i = 0; i < W * H; i = i + 1) {
+    ones = ones + bitmap[i];
+    sig = (sig * 2 + bitmap[i]) & 16777215;
+  }
+  print_int(ones);
+  print_int(sig);
+  return sig;
+}
+"""
+
+SOBEL_SOURCE = """
+int W = 40;
+int H = 30;
+int image[1200];
+int gradmag[1200];
+int gxk[9] = {-1, 0, 1, -2, 0, 2, -1, 0, 1};
+int gyk[9] = {-1, -2, -1, 0, 0, 0, 1, 2, 1};
+int histo[8];
+
+int main() {
+  int i;
+  int seed = 43;
+  for (i = 0; i < W * H; i = i + 1) {
+    int x = i % W;
+    int y = i / W;
+    seed = seed * 1103515245 + 12345;
+    image[i] = ((x + y * 2) & 255) + ((seed >> 22) & 63);
+  }
+  int y;
+  for (y = 1; y < H - 1; y = y + 1) {
+    int x;
+    for (x = 1; x < W - 1; x = x + 1) {
+      int gx = 0;
+      int gy = 0;
+      int ky;
+      for (ky = 0; ky < 3; ky = ky + 1) {
+        int kx;
+        for (kx = 0; kx < 3; kx = kx + 1) {
+          int p = image[(y + ky - 1) * W + (x + kx - 1)];
+          gx = gx + gxk[ky * 3 + kx] * p;
+          gy = gy + gyk[ky * 3 + kx] * p;
+        }
+      }
+      if (gx < 0) { gx = -gx; }
+      if (gy < 0) { gy = -gy; }
+      int mag = gx + gy;
+      gradmag[y * W + x] = mag;
+      histo[(mag >> 6) & 7] = histo[(mag >> 6) & 7] + 1;
+    }
+  }
+  int sum = 0;
+  for (i = 0; i < W * H; i = i + 1) {
+    sum = (sum + gradmag[i]) & 16777215;
+  }
+  for (i = 0; i < 8; i = i + 1) {
+    print_int(histo[i]);
+  }
+  print_int(sum);
+  return sum;
+}
+"""
+
+FIR_SOURCE = """
+int NTAPS = 32;
+int NSAMP = 512;
+int coeff[32] = {3, -9, 14, -21, 30, -41, 55, -70, 86, -101, 115, -126,
+                 134, -138, 139, 560, 560, 139, -138, 134, -126, 115,
+                 -101, 86, -70, 55, -41, 30, -21, 14, -9, 3};
+int delayline[32];
+int input[512];
+int output[512];
+
+int fir_step(int sample) {
+  int i;
+  for (i = NTAPS - 1; i > 0; i = i - 1) {
+    delayline[i] = delayline[i - 1];
+  }
+  delayline[0] = sample;
+  int acc = 0;
+  for (i = 0; i < NTAPS; i = i + 1) {
+    acc = acc + coeff[i] * delayline[i];
+  }
+  return acc >> 10;
+}
+
+int main() {
+  int i;
+  int seed = 63;
+  for (i = 0; i < NSAMP; i = i + 1) {
+    seed = seed * 1103515245 + 12345;
+    input[i] = ((i & 127) - 64) * 120 + ((seed >> 21) & 255);
+  }
+  for (i = 0; i < NSAMP; i = i + 1) {
+    output[i] = fir_step(input[i]);
+  }
+  int sum = 0;
+  for (i = 0; i < NSAMP; i = i + 1) {
+    sum = (sum + output[i]) & 16777215;
+  }
+  print_int(sum);
+  return sum;
+}
+"""
+
+LATNRM_SOURCE = """
+int ORDER = 8;
+int NSAMP = 800;
+int kcoef[8] = {51, -38, 27, -19, 13, -9, 6, -4};
+int vcoef[9] = {8, 11, 14, 17, 20, 23, 26, 29, 32};
+int state[9];
+int input[800];
+int output[800];
+
+int lattice_step(int sample) {
+  int top = sample;
+  int i;
+  for (i = 0; i < ORDER; i = i + 1) {
+    top = top - ((kcoef[i] * state[i]) >> 7);
+    state[i + 1] = state[i] + ((kcoef[i] * top) >> 7);
+  }
+  state[0] = top;
+  int acc = 0;
+  for (i = 0; i <= ORDER; i = i + 1) {
+    acc = acc + vcoef[i] * state[i];
+  }
+  return acc >> 5;
+}
+
+int main() {
+  int i;
+  int seed = 101;
+  for (i = 0; i < NSAMP; i = i + 1) {
+    seed = seed * 1103515245 + 12345;
+    input[i] = ((i * 11) & 255) * 32 - 4096 + ((seed >> 22) & 127);
+  }
+  for (i = 0; i < NSAMP; i = i + 1) {
+    output[i] = lattice_step(input[i]);
+  }
+  int sum = 0;
+  for (i = 0; i < NSAMP; i = i + 1) {
+    sum = (sum + (output[i] >> 2)) & 16777215;
+  }
+  print_int(sum);
+  return sum;
+}
+"""
+
+register(
+    Benchmark(
+        "fsed",
+        FSED_SOURCE,
+        "Floyd-Steinberg error-diffusion dithering (DSP kernel)",
+        "dsp",
+    )
+)
+register(
+    Benchmark(
+        "sobel",
+        SOBEL_SOURCE,
+        "Sobel 3x3 edge detection with gradient histogram (DSP kernel)",
+        "dsp",
+    )
+)
+register(
+    Benchmark(
+        "fir",
+        FIR_SOURCE,
+        "32-tap FIR filter over 512 samples (DSP kernel)",
+        "dsp",
+    )
+)
+register(
+    Benchmark(
+        "latnrm",
+        LATNRM_SOURCE,
+        "Normalised lattice filter, DSPstone-style (DSP kernel)",
+        "dsp",
+    )
+)

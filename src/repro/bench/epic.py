@@ -1,0 +1,128 @@
+"""epic — image pyramid decomposition kernel.
+
+Modelled on the Mediabench EPIC encoder's hot loop: a separable low-pass
+filter builds a two-level image pyramid; detail bands are quantised with
+a dead-zone quantiser.  Uses heap buffers for the pyramid levels, so the
+benchmark exercises malloc-site data objects as well as globals.
+"""
+
+from .registry import Benchmark, register
+
+EPIC_SOURCE = """
+int W = 32;
+int H = 32;
+int image[1024];
+int filtertaps[5] = {3, 12, 34, 12, 3};
+int qstep = 9;
+
+void lowpass_rows(int *src, int *dst, int w, int h) {
+  int y;
+  for (y = 0; y < h; y = y + 1) {
+    int x;
+    for (x = 0; x < w; x = x + 1) {
+      int acc = 0;
+      int t;
+      for (t = -2; t <= 2; t = t + 1) {
+        int xx = x + t;
+        if (xx < 0) { xx = 0; }
+        if (xx >= w) { xx = w - 1; }
+        acc = acc + filtertaps[t + 2] * src[y * w + xx];
+      }
+      dst[y * w + x] = acc >> 6;
+    }
+  }
+}
+
+void lowpass_cols(int *src, int *dst, int w, int h) {
+  int y;
+  for (y = 0; y < h; y = y + 1) {
+    int x;
+    for (x = 0; x < w; x = x + 1) {
+      int acc = 0;
+      int t;
+      for (t = -2; t <= 2; t = t + 1) {
+        int yy = y + t;
+        if (yy < 0) { yy = 0; }
+        if (yy >= h) { yy = h - 1; }
+        acc = acc + filtertaps[t + 2] * src[yy * w + x];
+      }
+      dst[y * w + x] = acc >> 6;
+    }
+  }
+}
+
+void decimate(int *src, int *dst, int w, int h) {
+  int y;
+  for (y = 0; y < h / 2; y = y + 1) {
+    int x;
+    for (x = 0; x < w / 2; x = x + 1) {
+      dst[y * (w / 2) + x] = src[(y * 2) * w + (x * 2)];
+    }
+  }
+}
+
+int quantize_band(int *band, int *codes, int n) {
+  int i;
+  int nz = 0;
+  for (i = 0; i < n; i = i + 1) {
+    int v = band[i];
+    int mag = v;
+    if (mag < 0) { mag = -mag; }
+    int q = 0;
+    if (mag > qstep / 2) { q = mag / qstep; }
+    if (v < 0) { q = -q; }
+    codes[i] = q;
+    if (q != 0) { nz = nz + 1; }
+  }
+  return nz;
+}
+
+int main() {
+  int i;
+  int seed = 5;
+  for (i = 0; i < W * H; i = i + 1) {
+    int x = i % W;
+    int y = i / W;
+    seed = seed * 1103515245 + 12345;
+    image[i] = ((x * x + y * y) & 255) + ((seed >> 23) & 31);
+  }
+  int *tmp = malloc(W * H * sizeof(int));
+  int *smooth = malloc(W * H * sizeof(int));
+  int *level1 = malloc((W / 2) * (H / 2) * sizeof(int));
+  int *detail = malloc(W * H * sizeof(int));
+  int *codes = malloc(W * H * sizeof(int));
+
+  lowpass_rows(image, tmp, W, H);
+  lowpass_cols(tmp, smooth, W, H);
+  for (i = 0; i < W * H; i = i + 1) {
+    detail[i] = image[i] - smooth[i];
+  }
+  int nz0 = quantize_band(detail, codes, W * H);
+  decimate(smooth, level1, W, H);
+
+  lowpass_rows(level1, tmp, W / 2, H / 2);
+  lowpass_cols(tmp, smooth, W / 2, H / 2);
+  for (i = 0; i < (W / 2) * (H / 2); i = i + 1) {
+    detail[i] = level1[i] - smooth[i];
+  }
+  int nz1 = quantize_band(detail, codes, (W / 2) * (H / 2));
+
+  int sum = 0;
+  for (i = 0; i < (W / 2) * (H / 2); i = i + 1) {
+    sum = (sum + smooth[i] * 3 + codes[i]) & 16777215;
+  }
+  print_int(nz0);
+  print_int(nz1);
+  print_int(sum);
+  return sum;
+}
+"""
+
+register(
+    Benchmark(
+        "epic",
+        EPIC_SOURCE,
+        "EPIC image-pyramid decomposition with dead-zone quantiser",
+        "mediabench",
+    )
+)

@@ -1,0 +1,116 @@
+"""fft — fixed-point radix-2 FFT with a sine lookup table.
+
+Integer in-place decimation-in-time FFT over 256 points, twiddles from a
+quarter-wave sine table — the standard embedded-DSP formulation.
+"""
+
+from .registry import Benchmark, register
+
+FFT_SOURCE = """
+int N = 256;
+int LOGN = 8;
+int re[256];
+int im[256];
+int sintab[256];
+int spectrum[128];
+
+void build_sintab() {
+  /* 256-entry sine table, amplitude 4096, via 2nd-order resonator. */
+  int i;
+  int s0 = 0;
+  int s1 = 100;
+  /* k = 2*4096*cos(2*pi/256) ~ 8189.5 -> resonator approx; use direct
+     polynomial approximation instead for stability. */
+  for (i = 0; i < 256; i = i + 1) {
+    int x = i & 127;
+    if (x > 63) { x = 127 - x; }
+    /* parabola approximating sin on [0, pi/2], peak 4096 at x=64 */
+    int v = (x * (128 - x) * 4096) / 4096;
+    if ((i & 128) != 0) { v = -v; }
+    sintab[i] = v;
+  }
+}
+
+int sin_lookup(int idx) {
+  return sintab[idx & 255];
+}
+
+int cos_lookup(int idx) {
+  return sintab[(idx + 64) & 255];
+}
+
+void fft() {
+  /* bit-reversal permutation */
+  int i;
+  int j = 0;
+  for (i = 0; i < N - 1; i = i + 1) {
+    if (i < j) {
+      int tr = re[i]; re[i] = re[j]; re[j] = tr;
+      int ti = im[i]; im[i] = im[j]; im[j] = ti;
+    }
+    int k = N / 2;
+    while (k <= j) {
+      j = j - k;
+      k = k / 2;
+    }
+    j = j + k;
+  }
+  int le = 1;
+  int stage;
+  for (stage = 0; stage < LOGN; stage = stage + 1) {
+    int le2 = le * 2;
+    int step = N / le2;
+    int m;
+    for (m = 0; m < le; m = m + 1) {
+      int wr = cos_lookup(m * step);
+      int wi = -sin_lookup(m * step);
+      for (i = m; i < N; i = i + le2) {
+        int ip = i + le;
+        int tr = (wr * re[ip] - wi * im[ip]) >> 12;
+        int ti = (wr * im[ip] + wi * re[ip]) >> 12;
+        re[ip] = (re[i] - tr) / 2;
+        im[ip] = (im[i] - ti) / 2;
+        re[i] = (re[i] + tr) / 2;
+        im[i] = (im[i] + ti) / 2;
+      }
+    }
+    le = le2;
+  }
+}
+
+int main() {
+  int i;
+  int seed = 301;
+  build_sintab();
+  for (i = 0; i < N; i = i + 1) {
+    seed = seed * 1103515245 + 12345;
+    int tone = sin_lookup((i * 8) & 255) / 4 + sin_lookup((i * 21) & 255) / 8;
+    re[i] = tone + ((seed >> 22) & 63);
+    im[i] = 0;
+  }
+  fft();
+  int peak = 0;
+  int peakbin = 0;
+  for (i = 0; i < N / 2; i = i + 1) {
+    int p = (re[i] * re[i] + im[i] * im[i]) >> 8;
+    spectrum[i] = p;
+    if (p > peak) { peak = p; peakbin = i; }
+  }
+  int sum = 0;
+  for (i = 0; i < N / 2; i = i + 1) {
+    sum = (sum + spectrum[i]) & 16777215;
+  }
+  print_int(peakbin);
+  print_int(sum);
+  return sum;
+}
+"""
+
+register(
+    Benchmark(
+        "fft",
+        FFT_SOURCE,
+        "256-point fixed-point radix-2 FFT with sine LUT",
+        "dsp",
+    )
+)

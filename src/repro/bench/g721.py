@@ -1,0 +1,171 @@
+"""g721enc / g721dec — simplified G.721 ADPCM with an adaptive predictor.
+
+Structured after the Mediabench ``g721`` codec: a multi-level quantizer
+with lookup tables, an adaptive FIR predictor whose coefficients update
+sign-sign LMS style, and a scale-factor adaptation table.  Considerably
+simplified arithmetically, but with the same data-object structure
+(quantizer tables, predictor state, sample buffers) that drives the
+partitioning problem.
+"""
+
+from .registry import Benchmark, register
+
+_COMMON_TABLES = """
+int qtab[7] = {124, 256, 388, 520, 652, 784, 916};
+int iqtab[8] = {62, 190, 322, 454, 586, 718, 850, 982};
+int witab[8] = {-12, 18, 41, 64, 112, 198, 355, 1122};
+int predco[4];
+int predhist[4];
+int scale_state = 256;
+"""
+
+_PREDICT = """
+int predict() {
+  int acc = 0;
+  int i;
+  for (i = 0; i < 4; i = i + 1) {
+    acc = acc + predco[i] * predhist[i];
+  }
+  return acc >> 14;
+}
+
+void update_predictor(int err, int recon) {
+  int i;
+  for (i = 0; i < 4; i = i + 1) {
+    int grad = 0;
+    if (err > 0 && predhist[i] > 0) { grad = 48; }
+    if (err > 0 && predhist[i] < 0) { grad = -48; }
+    if (err < 0 && predhist[i] > 0) { grad = -48; }
+    if (err < 0 && predhist[i] < 0) { grad = 48; }
+    predco[i] = predco[i] - (predco[i] >> 8) + grad;
+  }
+  for (i = 3; i > 0; i = i - 1) {
+    predhist[i] = predhist[i - 1];
+  }
+  predhist[0] = recon;
+}
+
+int quantize(int err, int scale) {
+  int mag = err;
+  int sign = 0;
+  if (mag < 0) { sign = 8; mag = -mag; }
+  int level = 0;
+  int scaled = (mag << 8) / scale;
+  int i;
+  for (i = 0; i < 7; i = i + 1) {
+    if (scaled >= qtab[i]) { level = i + 1; }
+  }
+  return sign | level;
+}
+
+int inv_quantize(int codeword, int scale) {
+  int level = codeword & 7;
+  int mag = (iqtab[level] * scale) >> 8;
+  if (codeword & 8) { return -mag; }
+  return mag;
+}
+
+int adapt_scale(int codeword, int scale) {
+  int level = codeword & 7;
+  int next = scale + witab[level] - (scale >> 5);
+  if (next < 64) { next = 64; }
+  if (next > 16384) { next = 16384; }
+  return next;
+}
+"""
+
+G721ENC_SOURCE = (
+    """
+int NSAMP = 400;
+int pcm_in[400];
+int codes[400];
+"""
+    + _COMMON_TABLES
+    + _PREDICT
+    + """
+int main() {
+  int i;
+  int seed = 31;
+  for (i = 0; i < NSAMP; i = i + 1) {
+    seed = seed * 1103515245 + 12345;
+    int tone = ((i * 13) & 127) * 180 - 11000;
+    pcm_in[i] = tone + ((seed >> 19) & 511);
+  }
+  int scale = scale_state;
+  for (i = 0; i < NSAMP; i = i + 1) {
+    int est = predict();
+    int err = pcm_in[i] - est;
+    int cw = quantize(err, scale);
+    int dq = inv_quantize(cw, scale);
+    int recon = est + dq;
+    update_predictor(dq, recon);
+    scale = adapt_scale(cw, scale);
+    codes[i] = cw;
+  }
+  scale_state = scale;
+  int sum = 0;
+  for (i = 0; i < NSAMP; i = i + 1) {
+    sum = (sum + codes[i] * (i + 3)) & 16777215;
+  }
+  print_int(sum);
+  print_int(scale_state);
+  return sum;
+}
+"""
+)
+
+G721DEC_SOURCE = (
+    """
+int NSAMP = 400;
+int codes[400];
+int pcm_out[400];
+"""
+    + _COMMON_TABLES
+    + _PREDICT
+    + """
+int main() {
+  int i;
+  int seed = 57;
+  for (i = 0; i < NSAMP; i = i + 1) {
+    seed = seed * 1103515245 + 12345;
+    codes[i] = (seed >> 21) & 15;
+  }
+  int scale = scale_state;
+  for (i = 0; i < NSAMP; i = i + 1) {
+    int est = predict();
+    int dq = inv_quantize(codes[i], scale);
+    int recon = est + dq;
+    update_predictor(dq, recon);
+    scale = adapt_scale(codes[i], scale);
+    if (recon > 32767) { recon = 32767; }
+    if (recon < -32768) { recon = -32768; }
+    pcm_out[i] = recon;
+  }
+  scale_state = scale;
+  int sum = 0;
+  for (i = 0; i < NSAMP; i = i + 1) {
+    sum = (sum + pcm_out[i]) & 16777215;
+  }
+  print_int(sum);
+  return sum;
+}
+"""
+)
+
+register(
+    Benchmark(
+        "g721enc",
+        G721ENC_SOURCE,
+        "Simplified G.721 ADPCM encoder with adaptive predictor",
+        "mediabench",
+    )
+)
+
+register(
+    Benchmark(
+        "g721dec",
+        G721DEC_SOURCE,
+        "Simplified G.721 ADPCM decoder with adaptive predictor",
+        "mediabench",
+    )
+)

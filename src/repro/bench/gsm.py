@@ -1,0 +1,114 @@
+"""gsmenc — GSM 06.10 short-term LPC analysis kernel.
+
+The hot path of the Mediabench GSM encoder: windowed autocorrelation of a
+160-sample frame followed by the Schur recursion computing 8 reflection
+coefficients, then preemphasis-filtering the residual.  Integer
+arithmetic throughout, as in the reference coder.
+"""
+
+from .registry import Benchmark, register
+
+GSMENC_SOURCE = """
+int FRAME = 160;
+int NFRAMES = 6;
+int samples[160];
+int acf[9];
+int refc[8];
+int pp[8];
+int kk[8];
+int residual[160];
+int out_energy[6];
+
+void autocorrelation(int *s, int *corr) {
+  int k;
+  for (k = 0; k < 9; k = k + 1) {
+    int acc = 0;
+    int i;
+    for (i = k; i < FRAME; i = i + 1) {
+      acc = acc + ((s[i] >> 3) * (s[i - k] >> 3));
+    }
+    corr[k] = acc;
+  }
+}
+
+void schur(int *corr, int *r) {
+  int i;
+  int m;
+  if (corr[0] == 0) {
+    for (i = 0; i < 8; i = i + 1) { r[i] = 0; }
+    return;
+  }
+  for (i = 0; i < 8; i = i + 1) {
+    kk[i] = corr[i + 1];
+    pp[i] = corr[i];
+  }
+  for (m = 0; m < 8; m = m + 1) {
+    if (pp[0] == 0) { r[m] = 0; }
+    else {
+      r[m] = -((kk[0] * 256) / pp[0]);
+      if (r[m] > 255) { r[m] = 255; }
+      if (r[m] < -255) { r[m] = -255; }
+    }
+    int n;
+    for (n = 0; n < 7 - m; n = n + 1) {
+      pp[n] = pp[n] + ((kk[n] * r[m]) / 256);
+      kk[n] = kk[n + 1] + ((pp[n + 1] * r[m]) / 256);
+    }
+  }
+}
+
+void short_term_filter(int *s, int *r, int *res) {
+  int i;
+  int u0 = 0;
+  int u1 = 0;
+  for (i = 0; i < FRAME; i = i + 1) {
+    int d = s[i];
+    d = d - ((r[0] * u0) / 256);
+    d = d - ((r[1] * u1) / 256);
+    u1 = u0;
+    u0 = s[i];
+    res[i] = d;
+  }
+}
+
+int main() {
+  int f;
+  int i;
+  int seed = 17;
+  for (f = 0; f < NFRAMES; f = f + 1) {
+    for (i = 0; i < FRAME; i = i + 1) {
+      seed = seed * 1103515245 + 12345;
+      int voiced = ((i * (f + 3)) & 31) * 220 - 3300;
+      samples[i] = voiced + ((seed >> 21) & 255);
+    }
+    autocorrelation(samples, acf);
+    schur(acf, refc);
+    short_term_filter(samples, refc, residual);
+    int energy = 0;
+    for (i = 0; i < FRAME; i = i + 1) {
+      int v = residual[i] >> 4;
+      energy = (energy + v * v) & 16777215;
+    }
+    out_energy[f] = energy;
+  }
+  int sum = 0;
+  for (f = 0; f < NFRAMES; f = f + 1) {
+    sum = (sum + out_energy[f]) & 16777215;
+    print_int(out_energy[f]);
+  }
+  for (i = 0; i < 8; i = i + 1) {
+    sum = (sum + refc[i]) & 16777215;
+  }
+  print_int(sum);
+  return sum;
+}
+"""
+
+register(
+    Benchmark(
+        "gsmenc",
+        GSMENC_SOURCE,
+        "GSM 06.10 LPC analysis: autocorrelation + Schur recursion",
+        "mediabench",
+    )
+)

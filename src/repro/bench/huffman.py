@@ -1,0 +1,130 @@
+"""huffman — canonical Huffman length assignment and bitstream encode.
+
+Entropy-coding kernel: symbol frequency count, a simplified length
+assignment (log-rank based, canonical-code style), code table build, and
+a bit-packing encode loop.  Exercises indirect table lookups feeding a
+serial bit accumulator.
+"""
+
+from .registry import Benchmark, register
+
+HUFFMAN_SOURCE = """
+int NSYM = 64;
+int MSGLEN = 1024;
+int freq[64];
+int lengths[64];
+int codes[64];
+int message[1024];
+int bitstream[1024];
+
+void count_frequencies() {
+  int i;
+  for (i = 0; i < NSYM; i = i + 1) {
+    freq[i] = 0;
+  }
+  for (i = 0; i < MSGLEN; i = i + 1) {
+    int s = message[i];
+    freq[s] = freq[s] + 1;
+  }
+}
+
+void assign_lengths() {
+  /* Rank-based length assignment: more frequent -> shorter code.
+     Approximates the Huffman tree with length = 2 + rank bucket. */
+  int i;
+  int maxf = 1;
+  for (i = 0; i < NSYM; i = i + 1) {
+    if (freq[i] > maxf) { maxf = freq[i]; }
+  }
+  for (i = 0; i < NSYM; i = i + 1) {
+    int f = freq[i];
+    int len = 12;
+    int bound = maxf;
+    int l = 2;
+    while (l < 12) {
+      if (f * 2 >= bound) { len = l; break; }
+      bound = bound / 2;
+      l = l + 1;
+    }
+    if (f == 0) { len = 12; }
+    lengths[i] = len;
+  }
+}
+
+void build_codes() {
+  /* Canonical code assignment in (length, symbol) order. */
+  int code = 0;
+  int len;
+  for (len = 2; len <= 12; len = len + 1) {
+    int i;
+    for (i = 0; i < NSYM; i = i + 1) {
+      if (lengths[i] == len) {
+        codes[i] = code;
+        code = code + 1;
+      }
+    }
+    code = code * 2;
+  }
+}
+
+int encode() {
+  int bitpos = 0;
+  int word = 0;
+  int nbits = 0;
+  int outpos = 0;
+  int i;
+  for (i = 0; i < MSGLEN; i = i + 1) {
+    int s = message[i];
+    word = (word << lengths[s]) | (codes[s] & ((1 << lengths[s]) - 1));
+    nbits = nbits + lengths[s];
+    while (nbits >= 16) {
+      nbits = nbits - 16;
+      bitstream[outpos] = (word >> nbits) & 65535;
+      outpos = outpos + 1;
+      bitpos = bitpos + 16;
+    }
+    word = word & ((1 << nbits) - 1);
+  }
+  if (nbits > 0) {
+    bitstream[outpos] = (word << (16 - nbits)) & 65535;
+    outpos = outpos + 1;
+  }
+  return outpos;
+}
+
+int main() {
+  int i;
+  int seed = 401;
+  for (i = 0; i < MSGLEN; i = i + 1) {
+    seed = seed * 1103515245 + 12345;
+    int r = (seed >> 18) & 4095;
+    /* Skewed symbol distribution: low symbols much more frequent. */
+    int s = 0;
+    while (r > 0 && s < NSYM - 1) {
+      r = r / 3;
+      s = s + 1;
+    }
+    message[i] = s;
+  }
+  count_frequencies();
+  assign_lengths();
+  build_codes();
+  int words = encode();
+  int sum = 0;
+  for (i = 0; i < words; i = i + 1) {
+    sum = (sum + bitstream[i] * (1 + (i & 7))) & 16777215;
+  }
+  print_int(words);
+  print_int(sum);
+  return sum;
+}
+"""
+
+register(
+    Benchmark(
+        "huffman",
+        HUFFMAN_SOURCE,
+        "Canonical Huffman length assignment + bitstream encoder",
+        "dsp",
+    )
+)

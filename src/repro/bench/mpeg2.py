@@ -1,0 +1,199 @@
+"""mpeg2enc / mpeg2dec — 8x8 block DCT pipeline kernels.
+
+The hot loops of the Mediabench MPEG-2 codecs: the encoder runs a
+separable integer DCT, quantisation against the intra quantiser matrix
+and zig-zag scanning per macroblock; the decoder runs the inverse chain.
+Frames are synthetic.  Data objects: the frame buffer, the coefficient
+buffer, the quantiser matrix, the zig-zag table, and the DCT cosine
+table — the multi-object working set that makes placement matter.
+"""
+
+from .registry import Benchmark, register
+
+_TABLES = """
+int quant_matrix[64] = {
+   8, 16, 19, 22, 26, 27, 29, 34,
+  16, 16, 22, 24, 27, 29, 34, 37,
+  19, 22, 26, 27, 29, 34, 34, 38,
+  22, 22, 26, 27, 29, 34, 37, 40,
+  22, 26, 27, 29, 32, 35, 40, 48,
+  26, 27, 29, 32, 35, 40, 48, 58,
+  26, 27, 29, 34, 38, 46, 56, 69,
+  27, 29, 35, 38, 46, 56, 69, 83};
+int zigzag[64] = {
+   0,  1,  8, 16,  9,  2,  3, 10,
+  17, 24, 32, 25, 18, 11,  4,  5,
+  12, 19, 26, 33, 40, 48, 41, 34,
+  27, 20, 13,  6,  7, 14, 21, 28,
+  35, 42, 49, 56, 57, 50, 43, 36,
+  29, 22, 15, 23, 30, 37, 44, 51,
+  58, 59, 52, 45, 38, 31, 39, 46,
+  53, 60, 61, 54, 47, 55, 62, 63};
+int costab[64] = {
+  362, 362, 362, 362, 362, 362, 362, 362,
+  502, 426, 284, 100, -100, -284, -426, -502,
+  473, 196, -196, -473, -473, -196, 196, 473,
+  426, -100, -502, -284, 284, 502, 100, -426,
+  362, -362, -362, 362, 362, -362, -362, 362,
+  284, -502, 100, 426, -426, -100, 502, -284,
+  196, -473, 473, -196, -196, 473, -473, 196,
+  100, -284, 426, -502, 502, -426, 284, -100};
+"""
+
+_DCT = """
+int workspace[64];
+
+void fdct8x8(int *block) {
+  int u;
+  int x;
+  /* rows */
+  for (u = 0; u < 8; u = u + 1) {
+    for (x = 0; x < 8; x = x + 1) {
+      int acc = 0;
+      int t;
+      for (t = 0; t < 8; t = t + 1) {
+        acc = acc + costab[u * 8 + t] * block[x * 8 + t];
+      }
+      workspace[x * 8 + u] = acc >> 9;
+    }
+  }
+  /* columns */
+  for (u = 0; u < 8; u = u + 1) {
+    for (x = 0; x < 8; x = x + 1) {
+      int acc = 0;
+      int t;
+      for (t = 0; t < 8; t = t + 1) {
+        acc = acc + costab[u * 8 + t] * workspace[t * 8 + x];
+      }
+      block[u * 8 + x] = acc >> 9;
+    }
+  }
+}
+
+void idct8x8(int *block) {
+  int u;
+  int x;
+  for (x = 0; x < 8; x = x + 1) {
+    int t;
+    for (t = 0; t < 8; t = t + 1) {
+      int acc = 0;
+      int u2;
+      for (u2 = 0; u2 < 8; u2 = u2 + 1) {
+        acc = acc + costab[u2 * 8 + t] * block[x * 8 + u2];
+      }
+      workspace[x * 8 + t] = acc >> 9;
+    }
+  }
+  for (x = 0; x < 8; x = x + 1) {
+    int t;
+    for (t = 0; t < 8; t = t + 1) {
+      int acc = 0;
+      int u2;
+      for (u2 = 0; u2 < 8; u2 = u2 + 1) {
+        acc = acc + costab[u2 * 8 + x] * workspace[u2 * 8 + t];
+      }
+      block[x * 8 + t] = acc >> 9;
+    }
+  }
+}
+"""
+
+MPEG2ENC_SOURCE = (
+    """
+int NBLOCKS = 12;
+int frame[768];
+int coeffs[768];
+int block[64];
+"""
+    + _TABLES
+    + _DCT
+    + """
+int main() {
+  int b;
+  int i;
+  int seed = 3;
+  for (i = 0; i < NBLOCKS * 64; i = i + 1) {
+    seed = seed * 1103515245 + 12345;
+    frame[i] = ((seed >> 22) & 255) - 128;
+  }
+  for (b = 0; b < NBLOCKS; b = b + 1) {
+    for (i = 0; i < 64; i = i + 1) {
+      block[i] = frame[b * 64 + i];
+    }
+    fdct8x8(block);
+    for (i = 0; i < 64; i = i + 1) {
+      int q = quant_matrix[i];
+      int level = (block[i] * 16) / q;
+      coeffs[b * 64 + zigzag[i]] = level;
+    }
+  }
+  int sum = 0;
+  for (i = 0; i < NBLOCKS * 64; i = i + 1) {
+    sum = (sum + coeffs[i] * (i & 31)) & 16777215;
+  }
+  print_int(sum);
+  return sum;
+}
+"""
+)
+
+MPEG2DEC_SOURCE = (
+    """
+int NBLOCKS = 12;
+int coeffs[768];
+int frame_out[768];
+int block[64];
+"""
+    + _TABLES
+    + _DCT
+    + """
+int main() {
+  int b;
+  int i;
+  int seed = 11;
+  for (i = 0; i < NBLOCKS * 64; i = i + 1) {
+    seed = seed * 1103515245 + 12345;
+    int mag = (seed >> 24) & 63;
+    if ((i & 63) > 20) { mag = mag & 3; }
+    coeffs[i] = mag - 32;
+  }
+  for (b = 0; b < NBLOCKS; b = b + 1) {
+    for (i = 0; i < 64; i = i + 1) {
+      int level = coeffs[b * 64 + zigzag[i]];
+      block[i] = (level * quant_matrix[i]) / 16;
+    }
+    idct8x8(block);
+    for (i = 0; i < 64; i = i + 1) {
+      int v = block[i];
+      if (v > 255) { v = 255; }
+      if (v < -256) { v = -256; }
+      frame_out[b * 64 + i] = v;
+    }
+  }
+  int sum = 0;
+  for (i = 0; i < NBLOCKS * 64; i = i + 1) {
+    sum = (sum + frame_out[i]) & 16777215;
+  }
+  print_int(sum);
+  return sum;
+}
+"""
+)
+
+register(
+    Benchmark(
+        "mpeg2enc",
+        MPEG2ENC_SOURCE,
+        "MPEG-2 encoder kernel: forward DCT + quantisation + zig-zag",
+        "mediabench",
+    )
+)
+
+register(
+    Benchmark(
+        "mpeg2dec",
+        MPEG2DEC_SOURCE,
+        "MPEG-2 decoder kernel: dequantisation + inverse DCT",
+        "mediabench",
+    )
+)

@@ -1,0 +1,95 @@
+"""pegwit — message digest + stream encryption kernel.
+
+Stands in for the Mediabench ``pegwit`` public-key tool's symmetric hot
+path: an SBox-driven mixing hash (square-style, as pegwit uses) over the
+message, followed by keystream generation and encryption.  Data objects:
+the substitution box, the message buffer, the hash state, the key
+schedule and the ciphertext buffer.
+"""
+
+from .registry import Benchmark, register
+
+PEGWIT_SOURCE = """
+int MSGLEN = 512;
+int sbox[256];
+int message[512];
+int cipher[512];
+int hstate[8];
+int keysched[32];
+
+void build_sbox() {
+  int i;
+  int v = 113;
+  for (i = 0; i < 256; i = i + 1) {
+    v = (v * 167 + 41) & 255;
+    sbox[i] = v;
+  }
+}
+
+void hash_block(int *msg, int off, int len) {
+  int i;
+  for (i = 0; i < len; i = i + 1) {
+    int b = msg[off + i] & 255;
+    int j = i & 7;
+    int mixed = hstate[j] ^ sbox[(b + i) & 255];
+    mixed = (mixed << 5) | ((mixed >> 27) & 31);
+    hstate[j] = (mixed + sbox[b] + hstate[(j + 1) & 7]) & 16777215;
+  }
+}
+
+void expand_key(int seedval) {
+  int i;
+  int v = seedval;
+  for (i = 0; i < 32; i = i + 1) {
+    v = v * 69069 + 1;
+    keysched[i] = (v >> 16) & 65535;
+  }
+}
+
+void encrypt(int *msg, int *out, int len) {
+  int i;
+  int ks = 0;
+  for (i = 0; i < len; i = i + 1) {
+    int k = keysched[i & 31];
+    ks = (ks + sbox[(k + i) & 255]) & 255;
+    out[i] = (msg[i] & 255) ^ sbox[ks] ^ (k & 255);
+  }
+}
+
+int main() {
+  int i;
+  int seed = 77;
+  build_sbox();
+  for (i = 0; i < MSGLEN; i = i + 1) {
+    seed = seed * 1103515245 + 12345;
+    message[i] = (seed >> 17) & 255;
+  }
+  for (i = 0; i < 8; i = i + 1) {
+    hstate[i] = i * 257 + 1;
+  }
+  hash_block(message, 0, 256);
+  hash_block(message, 256, 256);
+  expand_key(hstate[0] ^ hstate[3]);
+  encrypt(message, cipher, MSGLEN);
+  hash_block(cipher, 0, MSGLEN);
+  int sum = 0;
+  for (i = 0; i < 8; i = i + 1) {
+    sum = (sum + hstate[i]) & 16777215;
+    print_int(hstate[i]);
+  }
+  for (i = 0; i < MSGLEN; i = i + 1) {
+    sum = (sum + cipher[i]) & 16777215;
+  }
+  print_int(sum);
+  return sum;
+}
+"""
+
+register(
+    Benchmark(
+        "pegwit",
+        PEGWIT_SOURCE,
+        "Pegwit-style message digest + SBox stream encryption",
+        "mediabench",
+    )
+)

@@ -1,0 +1,127 @@
+"""viterbi — soft-decision Viterbi decoder for a K=5, rate-1/2 code.
+
+A classic telecom DSP kernel: branch metrics against the received symbol
+pair, 16-state add-compare-select with path-metric arrays, and traceback.
+Data objects: the output-symbol tables, two path-metric arrays (ping-
+pong), the survivor matrix, and the decoded bit buffer.
+"""
+
+from .registry import Benchmark, register
+
+VITERBI_SOURCE = """
+int NSTATES = 16;
+int NBITS = 192;
+int out0[16];
+int out1[16];
+int received[384];
+int metric_a[16];
+int metric_b[16];
+int survivors[3072];
+int decoded[192];
+
+void build_tables() {
+  int s;
+  for (s = 0; s < NSTATES; s = s + 1) {
+    int g0 = (s ^ (s >> 1) ^ (s >> 3)) & 1;
+    int g1 = (s ^ (s >> 2) ^ (s >> 3)) & 1;
+    out0[s] = g0 * 2 + g1;
+    int t = s | 16;
+    g0 = (t ^ (t >> 1) ^ (t >> 3)) & 1;
+    g1 = (t ^ (t >> 2) ^ (t >> 3)) & 1;
+    out1[s] = g0 * 2 + g1;
+  }
+}
+
+int branch_metric(int sym, int r0, int r1) {
+  int e0 = ((sym >> 1) & 1) * 15 - r0;
+  int e1 = (sym & 1) * 15 - r1;
+  if (e0 < 0) { e0 = -e0; }
+  if (e1 < 0) { e1 = -e1; }
+  return e0 + e1;
+}
+
+int main() {
+  int i;
+  int seed = 29;
+  build_tables();
+  /* Encode a pseudo-random bit stream, then add noise. */
+  int state = 0;
+  for (i = 0; i < NBITS; i = i + 1) {
+    seed = seed * 1103515245 + 12345;
+    int bit = (seed >> 24) & 1;
+    int sy0 = out0[state];
+    int sy1 = out1[state];
+    int sym = bit ? sy1 : sy0;
+    state = ((state >> 1) | (bit << 3)) & 15;
+    seed = seed * 1103515245 + 12345;
+    int n0 = (seed >> 26) & 3;
+    seed = seed * 1103515245 + 12345;
+    int n1 = (seed >> 26) & 3;
+    received[i * 2] = ((sym >> 1) & 1) * 15 + n0 - 1;
+    received[i * 2 + 1] = (sym & 1) * 15 + n1 - 1;
+  }
+
+  int s;
+  for (s = 0; s < NSTATES; s = s + 1) {
+    metric_a[s] = 4096;
+  }
+  metric_a[0] = 0;
+  int t;
+  for (t = 0; t < NBITS; t = t + 1) {
+    int r0 = received[t * 2];
+    int r1 = received[t * 2 + 1];
+    for (s = 0; s < NSTATES; s = s + 1) {
+      /* Predecessors of s are (s<<1)&15 and ((s<<1)|1)&15; the shifted-in
+         bit is the high bit of s. */
+      int p0 = (s * 2) & 15;
+      int p1 = (s * 2 + 1) & 15;
+      int inbit = (s >> 3) & 1;
+      /* Load both candidate symbols, select branch-free (predication-
+         friendly formulation). */
+      int a0 = out0[p0];
+      int b0 = out1[p0];
+      int a1 = out0[p1];
+      int b1 = out1[p1];
+      int sym0 = inbit ? b0 : a0;
+      int sym1 = inbit ? b1 : a1;
+      int m0 = metric_a[p0] + branch_metric(sym0, r0, r1);
+      int m1 = metric_a[p1] + branch_metric(sym1, r0, r1);
+      int take0 = m0 <= m1;
+      metric_b[s] = take0 ? m0 : m1;
+      survivors[t * NSTATES + s] = take0 ? p0 : p1;
+    }
+    for (s = 0; s < NSTATES; s = s + 1) {
+      metric_a[s] = metric_b[s];
+      if (metric_a[s] > 60000) { metric_a[s] = metric_a[s] - 30000; }
+    }
+  }
+
+  /* Traceback from the best final state. */
+  int best = 0;
+  for (s = 1; s < NSTATES; s = s + 1) {
+    if (metric_a[s] < metric_a[best]) { best = s; }
+  }
+  int cur = best;
+  for (t = NBITS - 1; t >= 0; t = t - 1) {
+    decoded[t] = (cur >> 3) & 1;
+    cur = survivors[t * NSTATES + cur];
+  }
+
+  int sum = 0;
+  for (i = 0; i < NBITS; i = i + 1) {
+    sum = (sum * 2 + decoded[i]) & 16777215;
+  }
+  print_int(metric_a[best]);
+  print_int(sum);
+  return sum;
+}
+"""
+
+register(
+    Benchmark(
+        "viterbi",
+        VITERBI_SOURCE,
+        "K=5 rate-1/2 Viterbi decoder: ACS butterflies + traceback",
+        "dsp",
+    )
+)

@@ -1,0 +1,193 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+compile    MiniC -> IR (exact serialized form, or --pretty for reading)
+run        compile + interpret a MiniC program, print its output
+partition  run one partitioning scheme, print placement and cycles
+compare    run all four Table-1 schemes, print the comparison table
+bench      list or evaluate the bundled benchmark suite
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from .bench import all_benchmarks, get as get_benchmark
+from .evalmodel import format_table
+from .ir import print_module
+from .ir.serialize import dumps
+from .lang import compile_source
+from .machine import two_cluster_machine
+from .pipeline import Pipeline, PreparedProgram
+from .profiler import Interpreter
+
+
+def _read_source(path: str) -> str:
+    if path == "-":
+        return sys.stdin.read()
+    with open(path) as handle:
+        return handle.read()
+
+
+def _add_compile_flags(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--unroll", type=int, default=0, metavar="N",
+                        help="unroll factor for counted loops (0 = off)")
+    parser.add_argument("--if-convert", action="store_true",
+                        help="if-convert small control diamonds")
+    parser.add_argument("--optimize", action="store_true",
+                        help="run constant folding / copy-prop / CSE / DCE")
+
+
+def _add_machine_flags(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--latency", type=int, default=5, metavar="CYCLES",
+                        help="intercluster move latency (default 5)")
+
+
+def _compile(args) -> int:
+    module = compile_source(
+        _read_source(args.file), args.name,
+        unroll_factor=args.unroll, if_convert=args.if_convert,
+    )
+    if args.optimize:
+        from .opt import optimize_module
+
+        optimize_module(module)
+    text = print_module(module) if args.pretty else dumps(module)
+    if args.output:
+        with open(args.output, "w") as handle:
+            handle.write(text)
+    else:
+        print(text)
+    return 0
+
+
+def _run(args) -> int:
+    module = compile_source(
+        _read_source(args.file), args.name,
+        unroll_factor=args.unroll, if_convert=args.if_convert,
+    )
+    if args.optimize:
+        from .opt import optimize_module
+
+        optimize_module(module)
+    interp = Interpreter(module, max_steps=args.max_steps)
+    result = interp.run()
+    for value in interp.profile.output:
+        print(value)
+    print(f"[exit {result}; {interp.steps} operations executed]")
+    return 0
+
+
+def _prepared_from_args(args) -> PreparedProgram:
+    return PreparedProgram.from_source(_read_source(args.file), args.name)
+
+
+def _partition(args) -> int:
+    prepared = _prepared_from_args(args)
+    pipe = Pipeline(two_cluster_machine(move_latency=args.latency))
+    outcome = pipe.run(prepared, args.scheme)
+    print(f"scheme:  {args.scheme}")
+    print(f"cycles:  {outcome.cycles:.0f}")
+    print(f"dynamic intercluster moves: {outcome.dynamic_moves:.0f}")
+    if outcome.object_home:
+        print("object placement:")
+        for obj, cluster in sorted(outcome.object_home.items()):
+            size = prepared.objects[obj].size
+            print(f"  cluster {cluster}: {obj} ({size} bytes)")
+    return 0
+
+
+def _compare(args) -> int:
+    prepared = _prepared_from_args(args)
+    pipe = Pipeline(two_cluster_machine(move_latency=args.latency))
+    outcomes = pipe.run_all(prepared)
+    base = outcomes["unified"].cycles
+    rows = []
+    for name in ("unified", "gdp", "profilemax", "naive"):
+        out = outcomes[name]
+        rows.append([
+            name, f"{out.cycles:.0f}",
+            f"{base / out.cycles:.3f}" if out.cycles else "-",
+            f"{out.dynamic_moves:.0f}",
+        ])
+    print(format_table(["scheme", "cycles", "vs unified", "dyn moves"], rows))
+    return 0
+
+
+def _bench(args) -> int:
+    if args.name is None:
+        rows = [
+            [b.name, b.category, b.description] for b in all_benchmarks()
+        ]
+        print(format_table(["benchmark", "category", "description"], rows))
+        return 0
+    bench = get_benchmark(args.name)
+    prepared = PreparedProgram.from_source(bench.source, bench.name)
+    pipe = Pipeline(two_cluster_machine(move_latency=args.latency))
+    rel = pipe.compare(prepared, schemes=("gdp", "profilemax", "naive"))
+    rows = [[scheme, f"{value:.3f}"] for scheme, value in rel.items()]
+    print(f"{bench.name} @ {args.latency}-cycle move latency "
+          f"(relative to unified memory):")
+    print(format_table(["scheme", "vs unified"], rows))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Compiler-directed data partitioning for multicluster "
+        "processors (CGO 2006 reproduction)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("compile", help="compile MiniC to IR")
+    p.add_argument("file", help="MiniC source file ('-' for stdin)")
+    p.add_argument("-o", "--output", help="write IR here instead of stdout")
+    p.add_argument("--name", default="module")
+    p.add_argument("--pretty", action="store_true",
+                   help="human-readable form instead of serialized IR")
+    _add_compile_flags(p)
+    p.set_defaults(func=_compile)
+
+    p = sub.add_parser("run", help="compile and interpret a program")
+    p.add_argument("file")
+    p.add_argument("--name", default="program")
+    p.add_argument("--max-steps", type=int, default=50_000_000)
+    _add_compile_flags(p)
+    p.set_defaults(func=_run)
+
+    p = sub.add_parser("partition", help="run one partitioning scheme")
+    p.add_argument("file")
+    p.add_argument("--name", default="program")
+    p.add_argument("--scheme", default="gdp",
+                   choices=["gdp", "profilemax", "naive", "unified"])
+    _add_machine_flags(p)
+    p.set_defaults(func=_partition)
+
+    p = sub.add_parser("compare", help="compare all four schemes")
+    p.add_argument("file")
+    p.add_argument("--name", default="program")
+    _add_machine_flags(p)
+    p.set_defaults(func=_compare)
+
+    p = sub.add_parser("bench", help="list or evaluate bundled benchmarks")
+    p.add_argument("name", nargs="?", default=None)
+    _add_machine_flags(p)
+    p.set_defaults(func=_bench)
+
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    try:
+        return args.func(args)
+    except BrokenPipeError:  # output piped into head etc.
+        return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    sys.exit(main())

@@ -1,0 +1,27 @@
+"""Cycle-count evaluation model: per-block scheduling weighted by the
+execution profile, the exhaustive object-mapping search of Fig. 9, and
+plain-text reporting helpers."""
+
+from .cycles import BlockStats, EvalResult, evaluate_module
+from .exhaustive import ExhaustiveResult, MappingPoint, exhaustive_search
+from .report import (
+    arithmetic_mean,
+    bar_chart,
+    format_table,
+    geomean,
+    scatter_plot,
+)
+
+__all__ = [
+    "BlockStats",
+    "EvalResult",
+    "evaluate_module",
+    "ExhaustiveResult",
+    "MappingPoint",
+    "exhaustive_search",
+    "arithmetic_mean",
+    "bar_chart",
+    "format_table",
+    "geomean",
+    "scatter_plot",
+]

@@ -1,0 +1,47 @@
+"""Deep cloning of functions and modules.
+
+The evaluation pipeline runs several partitioning schemes over the same
+program; schemes mutate the IR (intercluster move insertion), so each
+scheme works on its own clone.  Cloning returns a uid map so profiles
+recorded on the original can be re-keyed onto the clone.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+from .function import Function
+from .module import Module
+
+
+def clone_function(func: Function) -> Tuple[Function, Dict[int, int]]:
+    """Clone a function; returns (clone, old-uid -> new-uid map).
+
+    Virtual registers are shared between original and clone — they are
+    pure (vid, type, name) value objects and register numbering stays
+    function-local and identical.
+    """
+    clone = Function(func.name, list(func.params), func.return_type)
+    clone._next_vreg = func._next_vreg
+    clone._next_block = func._next_block
+    uid_map: Dict[int, int] = {}
+    for block in func:
+        new_block = clone.add_block(block.name)
+        for op in block.ops:
+            new_op = op.clone()
+            uid_map[op.uid] = new_op.uid
+            new_block.append(new_op)
+    return clone, uid_map
+
+
+def clone_module(module: Module) -> Tuple[Module, Dict[int, int]]:
+    """Clone a whole module; returns (clone, old-uid -> new-uid map)."""
+    clone = Module(module.name)
+    uid_map: Dict[int, int] = {}
+    for gvar in module.globals.values():
+        clone.add_global(gvar.name, gvar.ty, gvar.initializer)
+    for func in module:
+        new_func, fmap = clone_function(func)
+        clone.add_function(new_func)
+        uid_map.update(fmap)
+    return clone, uid_map

@@ -1,0 +1,376 @@
+"""Exact textual serialization of IR modules.
+
+:func:`dumps` emits a fully-typed, lossless text form; :func:`loads`
+parses it back.  Unlike :mod:`repro.ir.printer` (a human-oriented,
+lossy rendering), ``loads(dumps(m))`` reconstructs the module exactly:
+types, register ids, block order, branch targets, and the well-known
+operation attributes (``site``, ``callee``, ``from``/``to``,
+``mem_objects``).
+
+Grammar (one construct per line)::
+
+    module "<name>"
+    struct <Name> { <field>: <type>, ... }
+    global @<name> : <type> [= <scalar> | = [<scalar>, ...]]
+    func @<name>(%<id>: <type>, ...) -> <type> {
+    block <label>:
+      %<id>:<type> = <mnemonic> <operand>, ...  [-> t1, t2] [{k=v, ...}]
+      <mnemonic> <operand>, ...                 [-> t1, t2] [{k=v, ...}]
+    }
+
+Operands: ``%<id>`` (register), ``@<name>`` (global address or function
+reference — calls always name their callee in ``{callee=...}``),
+integer and float literals.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Dict, List, Optional, Tuple
+
+from .function import Function
+from .module import Module
+from .ops import Opcode, Operation
+from .types import (
+    FLOAT,
+    INT,
+    VOID,
+    ArrayType,
+    IntType,
+    IRType,
+    PointerType,
+    StructType,
+)
+from .values import Constant, FunctionRef, GlobalAddress, VirtualRegister
+
+
+class SerializeError(Exception):
+    """Malformed serialized-IR text."""
+
+
+# ---------------------------------------------------------------------------
+# Dumping
+# ---------------------------------------------------------------------------
+
+
+def _type_str(ty: IRType) -> str:
+    if isinstance(ty, PointerType):
+        return _type_str(ty.pointee) + "*"
+    if isinstance(ty, ArrayType):
+        return f"[{ty.count} x {_type_str(ty.element)}]"
+    if isinstance(ty, StructType):
+        return f"struct.{ty.name}"
+    return str(ty)
+
+
+def _value_str(v) -> str:
+    if isinstance(v, VirtualRegister):
+        return f"%{v.vid}"
+    if isinstance(v, Constant):
+        if isinstance(v.value, float):
+            text = repr(v.value)
+            return text if ("." in text or "e" in text or "inf" in text) else text + ".0"
+        return str(v.value)
+    if isinstance(v, GlobalAddress):
+        return f"@{v.symbol}"
+    if isinstance(v, FunctionRef):
+        return f"@{v.symbol}"
+    raise SerializeError(f"cannot serialize value {v!r}")
+
+
+def _attrs_str(op: Operation) -> str:
+    parts = []
+    if "callee" in op.attrs:
+        parts.append(f'callee="{op.attrs["callee"]}"')
+    if "site" in op.attrs:
+        parts.append(f'site="{op.attrs["site"]}"')
+    if "from" in op.attrs:
+        parts.append(f'from={op.attrs["from"]}')
+    if "to" in op.attrs:
+        parts.append(f'to={op.attrs["to"]}')
+    objs = op.attrs.get("mem_objects")
+    if objs:
+        inner = ",".join(f'"{o}"' for o in sorted(objs))
+        parts.append(f"objs=[{inner}]")
+    return " {" + ", ".join(parts) + "}" if parts else ""
+
+
+def dumps(module: Module) -> str:
+    """Serialize a module to text."""
+    lines: List[str] = [f'module "{module.name}"']
+
+    structs: Dict[str, StructType] = {}
+
+    def collect(ty: IRType) -> None:
+        if isinstance(ty, StructType):
+            if ty.name not in structs:
+                structs[ty.name] = ty
+                for _, fty in ty.fields:
+                    collect(fty)
+        elif isinstance(ty, PointerType):
+            collect(ty.pointee)
+        elif isinstance(ty, ArrayType):
+            collect(ty.element)
+
+    for gvar in module.globals.values():
+        collect(gvar.ty)
+    for func in module:
+        collect(func.return_type)
+        for p in func.params:
+            collect(p.ty)
+        for op in func.operations():
+            if op.dest is not None:
+                collect(op.dest.ty)
+
+    for name, struct in structs.items():
+        fields = ", ".join(
+            f"{fname}: {_type_str(fty)}" for fname, fty in struct.fields
+        )
+        lines.append(f"struct {name} {{ {fields} }}")
+
+    for gvar in module.globals.values():
+        head = f"global @{gvar.name} : {_type_str(gvar.ty)}"
+        init = gvar.initializer
+        if init is None:
+            lines.append(head)
+        elif isinstance(init, (list, tuple)):
+            lines.append(head + " = [" + ", ".join(str(v) for v in init) + "]")
+        else:
+            lines.append(head + f" = {init}")
+
+    for func in module:
+        params = ", ".join(
+            f"%{p.vid}: {_type_str(p.ty)}" for p in func.params
+        )
+        lines.append(
+            f"func @{func.name}({params}) -> {_type_str(func.return_type)} {{"
+        )
+        for block in func:
+            lines.append(f"block {block.name}:")
+            for op in block.ops:
+                parts = ["  "]
+                if op.dest is not None:
+                    parts.append(f"%{op.dest.vid}:{_type_str(op.dest.ty)} = ")
+                parts.append(op.opcode.mnemonic)
+                if op.srcs:
+                    parts.append(" " + ", ".join(_value_str(s) for s in op.srcs))
+                if op.targets:
+                    parts.append(" -> " + ", ".join(op.targets))
+                parts.append(_attrs_str(op))
+                lines.append("".join(parts))
+        lines.append("}")
+    return "\n".join(lines) + "\n"
+
+
+# ---------------------------------------------------------------------------
+# Loading
+# ---------------------------------------------------------------------------
+
+_MNEMONIC_TO_OPCODE = {op.mnemonic: op for op in Opcode}
+
+_INT_TYPES = {f"i{b}": IntType(b) for b in (1, 8, 16, 32, 64)}
+
+
+class _TypeParser:
+    def __init__(self, structs: Dict[str, StructType]):
+        self.structs = structs
+
+    def parse(self, text: str) -> IRType:
+        text = text.strip()
+        depth = 0
+        while text.endswith("*"):
+            depth += 1
+            text = text[:-1].strip()
+        base = self._base(text)
+        for _ in range(depth):
+            base = PointerType(base)
+        return base
+
+    def _base(self, text: str) -> IRType:
+        if text in _INT_TYPES:
+            return _INT_TYPES[text]
+        if text == "f64":
+            return FLOAT
+        if text == "void":
+            return VOID
+        if text.startswith("struct."):
+            name = text[len("struct."):]
+            if name not in self.structs:
+                raise SerializeError(f"unknown struct {name!r}")
+            return self.structs[name]
+        m = re.fullmatch(r"\[(\d+) x (.+)\]", text)
+        if m:
+            return ArrayType(self.parse(m.group(2)), int(m.group(1)))
+        raise SerializeError(f"cannot parse type {text!r}")
+
+
+_OP_RE = re.compile(
+    r"^\s*(?:%(?P<dest>\d+):(?P<dty>[^=]+?)\s*=\s*)?"
+    r"(?P<mn>[a-z]+)"
+    r"(?P<rest>.*)$"
+)
+
+
+def loads(text: str) -> Module:
+    """Parse serialized-IR text back into a module."""
+    lines = [l for l in text.splitlines() if l.strip()]
+    if not lines or not lines[0].startswith("module"):
+        raise SerializeError("expected module header")
+    m = re.fullmatch(r'module "(.*)"', lines[0].strip())
+    if not m:
+        raise SerializeError("malformed module header")
+    module = Module(m.group(1))
+    structs: Dict[str, StructType] = {}
+    types = _TypeParser(structs)
+
+    i = 1
+    func: Optional[Function] = None
+    regs: Dict[int, VirtualRegister] = {}
+    block = None
+    # Function signatures are needed for call FunctionRefs; resolve after.
+    ret_types: Dict[str, IRType] = {}
+
+    def get_reg(vid: int, ty: Optional[IRType] = None) -> VirtualRegister:
+        if vid not in regs:
+            regs[vid] = VirtualRegister(vid, ty if ty is not None else INT)
+        elif ty is not None:
+            regs[vid] = VirtualRegister(vid, ty, regs[vid].name)
+        return regs[vid]
+
+    def parse_operand(tok: str, module: Module):
+        tok = tok.strip()
+        if tok.startswith("%"):
+            return get_reg(int(tok[1:]))
+        if tok.startswith("@"):
+            name = tok[1:]
+            if name in module.globals:
+                return module.globals[name].address()
+            return FunctionRef(name, ret_types.get(name, VOID))
+        if re.fullmatch(r"-?\d+", tok):
+            return Constant(int(tok), INT)
+        return Constant(float(tok), FLOAT)
+
+    while i < len(lines):
+        line = lines[i].strip()
+        i += 1
+        if line.startswith("struct "):
+            m = re.fullmatch(r"struct (\w+) \{ (.*) \}", line)
+            if not m:
+                raise SerializeError(f"malformed struct: {line}")
+            fields: List[Tuple[str, IRType]] = []
+            body = m.group(2).strip()
+            if body:
+                for field in _split_top(body):
+                    fname, _, fty = field.partition(":")
+                    fields.append((fname.strip(), types.parse(fty)))
+            structs[m.group(1)] = StructType(m.group(1), fields)
+        elif line.startswith("global "):
+            m = re.fullmatch(r"global @(\S+) : ([^=]+?)(?:\s*=\s*(.*))?", line)
+            if not m:
+                raise SerializeError(f"malformed global: {line}")
+            init = None
+            if m.group(3):
+                raw = m.group(3).strip()
+                if raw.startswith("["):
+                    init = [_scalar(s) for s in _split_top(raw[1:-1]) if s.strip()]
+                else:
+                    init = _scalar(raw)
+            module.add_global(m.group(1), types.parse(m.group(2)), init)
+        elif line.startswith("func "):
+            m = re.fullmatch(r"func @(\S+)\((.*)\) -> (\S+) \{", line)
+            if not m:
+                raise SerializeError(f"malformed func header: {line}")
+            regs = {}
+            params = []
+            if m.group(2).strip():
+                for ptxt in _split_top(m.group(2)):
+                    pm = re.fullmatch(r"\s*%(\d+): (.+)", ptxt)
+                    if not pm:
+                        raise SerializeError(f"malformed param: {ptxt}")
+                    params.append(get_reg(int(pm.group(1)), types.parse(pm.group(2))))
+            ret = types.parse(m.group(3))
+            func = Function(m.group(1), params, ret)
+            ret_types[func.name] = ret
+            module.add_function(func)
+            block = None
+        elif line == "}":
+            if func is not None:
+                func._next_vreg = max(regs, default=-1) + 1
+            func = None
+        elif line.startswith("block "):
+            if func is None:
+                raise SerializeError("block outside function")
+            block = func.add_block(line[len("block "):-1])
+        else:
+            if func is None or block is None:
+                raise SerializeError(f"operation outside block: {line}")
+            block.append(_parse_op(line, types, get_reg, parse_operand, module))
+    return module
+
+
+def _scalar(text: str):
+    text = text.strip()
+    if re.fullmatch(r"-?\d+", text):
+        return int(text)
+    return float(text)
+
+
+def _split_top(text: str) -> List[str]:
+    """Split on commas not inside brackets/quotes."""
+    parts, depth, start, in_str = [], 0, 0, False
+    for idx, ch in enumerate(text):
+        if ch == '"':
+            in_str = not in_str
+        elif in_str:
+            continue
+        elif ch in "[({":
+            depth += 1
+        elif ch in "])}":
+            depth -= 1
+        elif ch == "," and depth == 0:
+            parts.append(text[start:idx])
+            start = idx + 1
+    parts.append(text[start:])
+    return [p for p in parts if p.strip()]
+
+
+def _parse_op(line, types, get_reg, parse_operand, module) -> Operation:
+    attrs = {}
+    body = line
+    am = re.search(r"\{(.*)\}\s*$", body)
+    if am:
+        body = body[: am.start()].rstrip()
+        for item in _split_top(am.group(1)):
+            key, _, value = item.partition("=")
+            key, value = key.strip(), value.strip()
+            if key == "objs":
+                objs = frozenset(
+                    v.strip().strip('"') for v in _split_top(value[1:-1])
+                )
+                attrs["mem_objects"] = objs
+            elif value.startswith('"'):
+                attrs[key] = value.strip('"')
+            else:
+                attrs[key] = int(value)
+
+    targets: List[str] = []
+    tm = re.search(r"->\s*(.*)$", body)
+    if tm:
+        targets = [t.strip() for t in tm.group(1).split(",")]
+        body = body[: tm.start()].rstrip()
+
+    m = _OP_RE.fullmatch(body)
+    if not m:
+        raise SerializeError(f"malformed operation: {line!r}")
+    mnemonic = m.group("mn")
+    if mnemonic not in _MNEMONIC_TO_OPCODE:
+        raise SerializeError(f"unknown mnemonic {mnemonic!r}")
+    opcode = _MNEMONIC_TO_OPCODE[mnemonic]
+    dest = None
+    if m.group("dest") is not None:
+        dest = get_reg(int(m.group("dest")), types.parse(m.group("dty")))
+    srcs = []
+    rest = m.group("rest").strip()
+    if rest:
+        srcs = [parse_operand(tok, module) for tok in _split_top(rest)]
+    return Operation(opcode, dest, srcs, targets, attrs)

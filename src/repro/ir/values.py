@@ -1,0 +1,134 @@
+"""SSA-lite value kinds used as operation operands.
+
+The IR is a conventional virtual-register machine (not strict SSA): an
+operation defines at most one :class:`VirtualRegister` and reads a list of
+values.  Values are:
+
+* :class:`VirtualRegister` — a typed, function-local register,
+* :class:`Constant` — an immediate integer or float,
+* :class:`GlobalAddress` — the address of a module-level data object,
+* :class:`FunctionRef` — the address of a function (for calls).
+"""
+
+from __future__ import annotations
+
+from typing import Union
+
+from .types import FLOAT, INT, IRType, PointerType
+
+
+class Value:
+    """Base class for operand values."""
+
+    ty: IRType
+
+    def is_register(self) -> bool:
+        return False
+
+    def is_constant(self) -> bool:
+        return False
+
+
+class VirtualRegister(Value):
+    """A typed virtual register, unique within its function.
+
+    Registers are identified by integer ``vid``; ``name`` is a readable
+    hint carried from the frontend (variable names) for printing.
+    """
+
+    __slots__ = ("vid", "ty", "name")
+
+    def __init__(self, vid: int, ty: IRType, name: str = ""):
+        self.vid = vid
+        self.ty = ty
+        self.name = name
+
+    def is_register(self) -> bool:
+        return True
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, VirtualRegister) and other.vid == self.vid
+
+    def __hash__(self) -> int:
+        return hash(("vreg", self.vid))
+
+    def __str__(self) -> str:
+        if self.name:
+            return f"%{self.name}.{self.vid}"
+        return f"%v{self.vid}"
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"VirtualRegister({self.vid}, {self.ty}, {self.name!r})"
+
+
+class Constant(Value):
+    """An immediate integer or floating-point constant."""
+
+    __slots__ = ("value", "ty")
+
+    def __init__(self, value: Union[int, float], ty: IRType = None):
+        if ty is None:
+            ty = FLOAT if isinstance(value, float) else INT
+        self.value = value
+        self.ty = ty
+
+    def is_constant(self) -> bool:
+        return True
+
+    def __eq__(self, other: object) -> bool:
+        return (
+            isinstance(other, Constant)
+            and other.value == self.value
+            and other.ty == self.ty
+        )
+
+    def __hash__(self) -> int:
+        return hash(("const", self.value, self.ty))
+
+    def __str__(self) -> str:
+        return str(self.value)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Constant({self.value!r}, {self.ty})"
+
+
+class GlobalAddress(Value):
+    """The address of a module-level global variable.
+
+    ``symbol`` names the :class:`~repro.ir.module.GlobalVariable`; the type
+    is a pointer to the global's value type.
+    """
+
+    __slots__ = ("symbol", "ty")
+
+    def __init__(self, symbol: str, pointee: IRType):
+        self.symbol = symbol
+        self.ty = PointerType(pointee)
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, GlobalAddress) and other.symbol == self.symbol
+
+    def __hash__(self) -> int:
+        return hash(("gaddr", self.symbol))
+
+    def __str__(self) -> str:
+        return f"@{self.symbol}"
+
+
+class FunctionRef(Value):
+    """A reference to a function, used as the callee operand of calls."""
+
+    __slots__ = ("symbol", "ty")
+
+    def __init__(self, symbol: str, ty: IRType):
+        self.symbol = symbol
+        self.ty = ty
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, FunctionRef) and other.symbol == self.symbol
+
+    def __hash__(self) -> int:
+        return hash(("fref", self.symbol))
+
+    def __str__(self) -> str:
+        return f"@{self.symbol}"

@@ -1,0 +1,179 @@
+"""Structural verifier for IR modules.
+
+The verifier enforces the invariants every pass may rely on:
+
+* every block ends in exactly one terminator, and terminators appear only
+  at block ends;
+* branch targets name blocks that exist in the same function;
+* every register read is either a parameter or defined by some operation
+  in the function (the IR is not SSA, so no dominance requirement);
+* operand and destination arity match the opcode;
+* calls name functions or known externals; global references resolve.
+"""
+
+from __future__ import annotations
+
+from typing import List, Set
+
+from .function import Function
+from .module import Module
+from .ops import Opcode, Operation
+from .values import GlobalAddress, VirtualRegister
+
+#: Call targets that need not be defined in the module (modelled intrinsics).
+KNOWN_EXTERNALS = {"print_int", "print_float", "abort"}
+
+#: Opcode arity table: (num_srcs, has_dest, num_targets); None = variable.
+_ARITY = {
+    Opcode.ADD: (2, True, 0),
+    Opcode.SUB: (2, True, 0),
+    Opcode.MUL: (2, True, 0),
+    Opcode.DIV: (2, True, 0),
+    Opcode.REM: (2, True, 0),
+    Opcode.NEG: (1, True, 0),
+    Opcode.AND: (2, True, 0),
+    Opcode.OR: (2, True, 0),
+    Opcode.XOR: (2, True, 0),
+    Opcode.NOT: (1, True, 0),
+    Opcode.SHL: (2, True, 0),
+    Opcode.SHR: (2, True, 0),
+    Opcode.CMPEQ: (2, True, 0),
+    Opcode.CMPNE: (2, True, 0),
+    Opcode.CMPLT: (2, True, 0),
+    Opcode.CMPLE: (2, True, 0),
+    Opcode.CMPGT: (2, True, 0),
+    Opcode.CMPGE: (2, True, 0),
+    Opcode.SELECT: (3, True, 0),
+    Opcode.MOV: (1, True, 0),
+    Opcode.PTRADD: (2, True, 0),
+    Opcode.FADD: (2, True, 0),
+    Opcode.FSUB: (2, True, 0),
+    Opcode.FMUL: (2, True, 0),
+    Opcode.FDIV: (2, True, 0),
+    Opcode.FNEG: (1, True, 0),
+    Opcode.FCMPEQ: (2, True, 0),
+    Opcode.FCMPNE: (2, True, 0),
+    Opcode.FCMPLT: (2, True, 0),
+    Opcode.FCMPLE: (2, True, 0),
+    Opcode.FCMPGT: (2, True, 0),
+    Opcode.FCMPGE: (2, True, 0),
+    Opcode.ITOF: (1, True, 0),
+    Opcode.FTOI: (1, True, 0),
+    Opcode.LOAD: (1, True, 0),
+    Opcode.STORE: (2, False, 0),
+    Opcode.MALLOC: (1, True, 0),
+    Opcode.BR: (0, False, 1),
+    Opcode.CBR: (1, False, 2),
+    Opcode.RET: (None, False, 0),
+    Opcode.CALL: (None, None, 0),
+    Opcode.ICMOVE: (1, True, 0),
+}
+
+
+class VerificationError(Exception):
+    """Raised when a module violates an IR structural invariant."""
+
+    def __init__(self, errors: List[str]):
+        self.errors = errors
+        super().__init__("\n".join(errors))
+
+
+def verify_module(module: Module) -> None:
+    """Verify the whole module; raise :class:`VerificationError` on failure."""
+    errors: List[str] = []
+    for func in module:
+        errors.extend(_check_function(module, func))
+    for func in module:
+        for op in func.operations():
+            for src in op.srcs:
+                if isinstance(src, GlobalAddress) and src.symbol not in module.globals:
+                    errors.append(
+                        f"{func.name}: reference to undefined global @{src.symbol}"
+                    )
+            if op.is_call():
+                callee = op.attrs.get("callee")
+                if (
+                    callee not in module.functions
+                    and callee not in KNOWN_EXTERNALS
+                ):
+                    errors.append(
+                        f"{func.name}: call to undefined function @{callee}"
+                    )
+    if errors:
+        raise VerificationError(errors)
+
+
+def verify_function(func: Function) -> None:
+    """Verify one function in isolation (no cross-module checks)."""
+    errors = _check_function(None, func)
+    if errors:
+        raise VerificationError(errors)
+
+
+def _check_function(module, func: Function) -> List[str]:
+    errors: List[str] = []
+    if not func.blocks:
+        errors.append(f"{func.name}: function has no blocks")
+        return errors
+
+    defined: Set[int] = {p.vid for p in func.params}
+    for op in func.operations():
+        if op.dest is not None:
+            defined.add(op.dest.vid)
+
+    for block in func:
+        if not block.ops:
+            errors.append(f"{func.name}/{block.name}: empty block")
+            continue
+        if block.terminator is None:
+            errors.append(f"{func.name}/{block.name}: missing terminator")
+        for i, op in enumerate(block.ops):
+            if op.is_terminator() and i != len(block.ops) - 1:
+                errors.append(
+                    f"{func.name}/{block.name}: terminator {op.opcode.mnemonic} "
+                    f"at position {i} is not last"
+                )
+            errors.extend(_check_op(func, block.name, op, defined))
+        for target in block.successors():
+            if target not in func.blocks:
+                errors.append(
+                    f"{func.name}/{block.name}: branch to unknown block {target!r}"
+                )
+    return errors
+
+
+def _check_op(func: Function, bname: str, op: Operation, defined: Set[int]) -> List[str]:
+    errors: List[str] = []
+    where = f"{func.name}/{bname}"
+    arity = _ARITY.get(op.opcode)
+    if arity is None:
+        errors.append(f"{where}: unknown opcode {op.opcode}")
+        return errors
+    nsrcs, has_dest, ntargets = arity
+    if nsrcs is not None and len(op.srcs) != nsrcs:
+        if not (op.opcode is Opcode.RET and len(op.srcs) in (0, 1)):
+            errors.append(
+                f"{where}: {op.opcode.mnemonic} expects {nsrcs} srcs, "
+                f"got {len(op.srcs)}"
+            )
+    if op.opcode is Opcode.RET and len(op.srcs) > 1:
+        errors.append(f"{where}: ret takes at most one value")
+    if has_dest is True and op.dest is None:
+        errors.append(f"{where}: {op.opcode.mnemonic} requires a destination")
+    if has_dest is False and op.dest is not None:
+        errors.append(f"{where}: {op.opcode.mnemonic} must not have a destination")
+    if len(op.targets) != ntargets:
+        errors.append(
+            f"{where}: {op.opcode.mnemonic} expects {ntargets} targets, "
+            f"got {len(op.targets)}"
+        )
+    for src in op.register_srcs():
+        if src.vid not in defined:
+            errors.append(
+                f"{where}: use of undefined register {src} in {op.opcode.mnemonic}"
+            )
+    if op.opcode is Opcode.MALLOC and "site" not in op.attrs:
+        errors.append(f"{where}: malloc without allocation-site id")
+    if op.is_call() and "callee" not in op.attrs:
+        errors.append(f"{where}: call without callee attribute")
+    return errors

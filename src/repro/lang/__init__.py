@@ -1,0 +1,28 @@
+"""MiniC frontend: lexer, parser, type checker, and lowering to IR.
+
+The public entry point is :func:`compile_source`, which turns MiniC source
+text into a verified :class:`repro.ir.Module`.
+"""
+
+from .errors import LexError, MiniCError, ParseError, SourceLocation, TypeCheckError
+from .lexer import Lexer, Token, tokenize
+from .lower import Lowerer, compile_source
+from .parser import Parser, parse
+from .sema import Checker, check
+
+__all__ = [
+    "LexError",
+    "MiniCError",
+    "ParseError",
+    "SourceLocation",
+    "TypeCheckError",
+    "Lexer",
+    "Token",
+    "tokenize",
+    "Lowerer",
+    "compile_source",
+    "Parser",
+    "parse",
+    "Checker",
+    "check",
+]

@@ -1,0 +1,51 @@
+"""Diagnostics for the MiniC frontend."""
+
+from __future__ import annotations
+
+
+class SourceLocation:
+    """A (line, column) position within a MiniC source string."""
+
+    __slots__ = ("line", "col")
+
+    def __init__(self, line: int, col: int):
+        self.line = line
+        self.col = col
+
+    def __str__(self) -> str:
+        return f"{self.line}:{self.col}"
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"SourceLocation({self.line}, {self.col})"
+
+    def __eq__(self, other: object) -> bool:
+        return (
+            isinstance(other, SourceLocation)
+            and other.line == self.line
+            and other.col == self.col
+        )
+
+    def __hash__(self) -> int:
+        return hash((self.line, self.col))
+
+
+class MiniCError(Exception):
+    """Base for all frontend diagnostics."""
+
+    def __init__(self, message: str, loc: SourceLocation = None):
+        self.message = message
+        self.loc = loc
+        where = f" at {loc}" if loc else ""
+        super().__init__(f"{message}{where}")
+
+
+class LexError(MiniCError):
+    """Invalid character sequence in the source text."""
+
+
+class ParseError(MiniCError):
+    """Source text does not conform to the MiniC grammar."""
+
+
+class TypeCheckError(MiniCError):
+    """Source text is grammatical but ill-typed or ill-formed."""

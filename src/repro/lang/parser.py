@@ -1,0 +1,406 @@
+"""Recursive-descent parser for MiniC.
+
+The grammar is a proper C subset; precedence and associativity follow C.
+See :mod:`repro.lang.ast` for the node shapes produced.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple, Union
+
+from . import ast
+from .errors import ParseError
+from .lexer import Token, tokenize
+
+#: Binary operator precedence (higher binds tighter), as in C.
+_BINARY_PRECEDENCE = {
+    "||": 1,
+    "&&": 2,
+    "|": 3,
+    "^": 4,
+    "&": 5,
+    "==": 6,
+    "!=": 6,
+    "<": 7,
+    "<=": 7,
+    ">": 7,
+    ">=": 7,
+    "<<": 8,
+    ">>": 8,
+    "+": 9,
+    "-": 9,
+    "*": 10,
+    "/": 10,
+    "%": 10,
+}
+
+_TYPE_KEYWORDS = ("int", "float", "void", "struct")
+
+
+class Parser:
+    """Parses a token stream into an :class:`repro.lang.ast.Program`."""
+
+    def __init__(self, tokens: List[Token]):
+        self.tokens = tokens
+        self.pos = 0
+
+    # -- token plumbing -------------------------------------------------------
+
+    def _peek(self, offset: int = 0) -> Token:
+        i = min(self.pos + offset, len(self.tokens) - 1)
+        return self.tokens[i]
+
+    def _next(self) -> Token:
+        tok = self._peek()
+        if tok.kind != "eof":
+            self.pos += 1
+        return tok
+
+    def _expect_punct(self, text: str) -> Token:
+        tok = self._peek()
+        if not tok.is_punct(text):
+            raise ParseError(f"expected {text!r}, found {tok}", tok.loc)
+        return self._next()
+
+    def _expect_ident(self) -> Token:
+        tok = self._peek()
+        if tok.kind != "ident":
+            raise ParseError(f"expected identifier, found {tok}", tok.loc)
+        return self._next()
+
+    def _accept_punct(self, text: str) -> bool:
+        if self._peek().is_punct(text):
+            self._next()
+            return True
+        return False
+
+    def _at_type(self, offset: int = 0) -> bool:
+        tok = self._peek(offset)
+        return tok.kind == "kw" and tok.value in _TYPE_KEYWORDS
+
+    # -- types -------------------------------------------------------------------
+
+    def _parse_type_spec(self) -> ast.TypeSpec:
+        tok = self._peek()
+        if not self._at_type():
+            raise ParseError(f"expected type, found {tok}", tok.loc)
+        self._next()
+        if tok.value == "struct":
+            name_tok = self._expect_ident()
+            base: Union[str, Tuple[str, str]] = ("struct", name_tok.value)
+        else:
+            base = tok.value
+        depth = 0
+        while self._peek().is_punct("*"):
+            self._next()
+            depth += 1
+        return ast.TypeSpec(tok.loc, base, depth)
+
+    # -- top level ------------------------------------------------------------------
+
+    def parse_program(self) -> ast.Program:
+        loc = self._peek().loc
+        decls: List[ast.Node] = []
+        while self._peek().kind != "eof":
+            decls.append(self._parse_top_level())
+        return ast.Program(loc, decls)
+
+    def _parse_top_level(self) -> ast.Node:
+        tok = self._peek()
+        if tok.is_kw("struct") and self._peek(2).is_punct("{"):
+            return self._parse_struct_decl()
+        spec = self._parse_type_spec()
+        name = self._expect_ident()
+        if self._peek().is_punct("("):
+            return self._parse_func_decl(spec, name)
+        return self._parse_global_decl(spec, name)
+
+    def _parse_struct_decl(self) -> ast.StructDecl:
+        loc = self._next().loc  # 'struct'
+        name = self._expect_ident().value
+        self._expect_punct("{")
+        fields: List[Tuple[ast.TypeSpec, str]] = []
+        while not self._peek().is_punct("}"):
+            fspec = self._parse_type_spec()
+            fname = self._expect_ident().value
+            self._expect_punct(";")
+            fields.append((fspec, fname))
+        self._expect_punct("}")
+        self._expect_punct(";")
+        return ast.StructDecl(loc, name, fields)
+
+    def _parse_global_decl(self, spec: ast.TypeSpec, name: Token) -> ast.GlobalDecl:
+        array_size: Optional[int] = None
+        if self._accept_punct("["):
+            size_tok = self._next()
+            if size_tok.kind != "int":
+                raise ParseError("array size must be an integer literal", size_tok.loc)
+            array_size = size_tok.value
+            self._expect_punct("]")
+        init = None
+        if self._accept_punct("="):
+            init = self._parse_global_init()
+        self._expect_punct(";")
+        return ast.GlobalDecl(name.loc, spec, name.value, array_size, init)
+
+    def _parse_global_init(self):
+        if self._accept_punct("{"):
+            values = [self._parse_literal()]
+            while self._accept_punct(","):
+                values.append(self._parse_literal())
+            self._expect_punct("}")
+            return values
+        return self._parse_literal()
+
+    def _parse_literal(self) -> Union[int, float]:
+        sign = -1 if self._accept_punct("-") else 1
+        tok = self._next()
+        if tok.kind not in ("int", "float"):
+            raise ParseError("expected numeric literal", tok.loc)
+        return sign * tok.value
+
+    def _parse_func_decl(self, spec: ast.TypeSpec, name: Token) -> ast.FuncDecl:
+        self._expect_punct("(")
+        params: List[ast.Param] = []
+        if not self._peek().is_punct(")"):
+            if self._peek().is_kw("void") and self._peek(1).is_punct(")"):
+                self._next()
+            else:
+                params.append(self._parse_param())
+                while self._accept_punct(","):
+                    params.append(self._parse_param())
+        self._expect_punct(")")
+        body = self._parse_block()
+        return ast.FuncDecl(name.loc, spec, name.value, params, body)
+
+    def _parse_param(self) -> ast.Param:
+        spec = self._parse_type_spec()
+        name = self._expect_ident()
+        # Array parameter notation decays to a pointer: `int buf[]`.
+        if self._accept_punct("["):
+            self._expect_punct("]")
+            spec = ast.TypeSpec(spec.loc, spec.base, spec.pointer_depth + 1)
+        return ast.Param(name.loc, spec, name.value)
+
+    # -- statements ---------------------------------------------------------------------
+
+    def _parse_block(self) -> ast.Block:
+        loc = self._expect_punct("{").loc
+        stmts: List[ast.Stmt] = []
+        while not self._peek().is_punct("}"):
+            stmts.append(self._parse_stmt())
+        self._expect_punct("}")
+        return ast.Block(loc, stmts)
+
+    def _parse_stmt(self) -> ast.Stmt:
+        tok = self._peek()
+        if tok.is_punct("{"):
+            return self._parse_block()
+        if tok.is_kw("if"):
+            return self._parse_if()
+        if tok.is_kw("while"):
+            return self._parse_while()
+        if tok.is_kw("do"):
+            return self._parse_do_while()
+        if tok.is_kw("for"):
+            return self._parse_for()
+        if tok.is_kw("return"):
+            self._next()
+            value = None
+            if not self._peek().is_punct(";"):
+                value = self._parse_expr()
+            self._expect_punct(";")
+            return ast.Return(tok.loc, value)
+        if tok.is_kw("break"):
+            self._next()
+            self._expect_punct(";")
+            return ast.Break(tok.loc)
+        if tok.is_kw("continue"):
+            self._next()
+            self._expect_punct(";")
+            return ast.Continue(tok.loc)
+        if self._at_type():
+            return self._parse_var_decl()
+        expr = self._parse_expr()
+        self._expect_punct(";")
+        return ast.ExprStmt(tok.loc, expr)
+
+    def _parse_var_decl(self) -> ast.VarDecl:
+        spec = self._parse_type_spec()
+        name = self._expect_ident()
+        init = None
+        if self._accept_punct("="):
+            init = self._parse_expr()
+        self._expect_punct(";")
+        return ast.VarDecl(name.loc, spec, name.value, init)
+
+    def _parse_if(self) -> ast.If:
+        loc = self._next().loc
+        self._expect_punct("(")
+        cond = self._parse_expr()
+        self._expect_punct(")")
+        then = self._parse_stmt()
+        orelse = None
+        if self._peek().is_kw("else"):
+            self._next()
+            orelse = self._parse_stmt()
+        return ast.If(loc, cond, then, orelse)
+
+    def _parse_while(self) -> ast.While:
+        loc = self._next().loc
+        self._expect_punct("(")
+        cond = self._parse_expr()
+        self._expect_punct(")")
+        body = self._parse_stmt()
+        return ast.While(loc, cond, body)
+
+    def _parse_do_while(self) -> ast.DoWhile:
+        loc = self._next().loc
+        body = self._parse_stmt()
+        if not self._peek().is_kw("while"):
+            raise ParseError("expected 'while' after do-body", self._peek().loc)
+        self._next()
+        self._expect_punct("(")
+        cond = self._parse_expr()
+        self._expect_punct(")")
+        self._expect_punct(";")
+        return ast.DoWhile(loc, body, cond)
+
+    def _parse_for(self) -> ast.For:
+        loc = self._next().loc
+        self._expect_punct("(")
+        init: Optional[ast.Stmt] = None
+        if not self._peek().is_punct(";"):
+            if self._at_type():
+                init = self._parse_var_decl()  # consumes the ';'
+            else:
+                expr = self._parse_expr()
+                self._expect_punct(";")
+                init = ast.ExprStmt(loc, expr)
+        else:
+            self._expect_punct(";")
+        cond = None
+        if not self._peek().is_punct(";"):
+            cond = self._parse_expr()
+        self._expect_punct(";")
+        step = None
+        if not self._peek().is_punct(")"):
+            step = self._parse_expr()
+        self._expect_punct(")")
+        body = self._parse_stmt()
+        return ast.For(loc, init, cond, step, body)
+
+    # -- expressions ------------------------------------------------------------------------
+
+    def _parse_expr(self) -> ast.Expr:
+        return self._parse_assignment()
+
+    def _parse_assignment(self) -> ast.Expr:
+        lhs = self._parse_ternary()
+        if self._peek().is_punct("="):
+            loc = self._next().loc
+            rhs = self._parse_assignment()
+            return ast.Assign(loc, lhs, rhs)
+        return lhs
+
+    def _parse_ternary(self) -> ast.Expr:
+        cond = self._parse_binary(1)
+        if self._peek().is_punct("?"):
+            loc = self._next().loc
+            if_true = self._parse_expr()
+            self._expect_punct(":")
+            if_false = self._parse_ternary()
+            return ast.Ternary(loc, cond, if_true, if_false)
+        return cond
+
+    def _parse_binary(self, min_prec: int) -> ast.Expr:
+        lhs = self._parse_unary()
+        while True:
+            tok = self._peek()
+            if tok.kind != "punct":
+                return lhs
+            prec = _BINARY_PRECEDENCE.get(tok.value)
+            if prec is None or prec < min_prec:
+                return lhs
+            self._next()
+            rhs = self._parse_binary(prec + 1)
+            lhs = ast.Binary(tok.loc, tok.value, lhs, rhs)
+
+    def _parse_unary(self) -> ast.Expr:
+        tok = self._peek()
+        if tok.kind == "punct" and tok.value in ("-", "!", "~", "*", "&"):
+            self._next()
+            operand = self._parse_unary()
+            return ast.Unary(tok.loc, tok.value, operand)
+        # Cast: '(' type-spec ')' unary
+        if tok.is_punct("(") and self._at_type(1):
+            self._next()
+            spec = self._parse_type_spec()
+            self._expect_punct(")")
+            operand = self._parse_unary()
+            return ast.Cast(tok.loc, spec, operand)
+        return self._parse_postfix()
+
+    def _parse_postfix(self) -> ast.Expr:
+        expr = self._parse_primary()
+        while True:
+            tok = self._peek()
+            if tok.is_punct("["):
+                self._next()
+                index = self._parse_expr()
+                self._expect_punct("]")
+                expr = ast.Index(tok.loc, expr, index)
+            elif tok.is_punct("."):
+                self._next()
+                name = self._expect_ident().value
+                expr = ast.Field(tok.loc, expr, name, arrow=False)
+            elif tok.is_punct("->"):
+                self._next()
+                name = self._expect_ident().value
+                expr = ast.Field(tok.loc, expr, name, arrow=True)
+            else:
+                return expr
+
+    def _parse_primary(self) -> ast.Expr:
+        tok = self._peek()
+        if tok.kind == "int":
+            self._next()
+            return ast.IntLit(tok.loc, tok.value)
+        if tok.kind == "float":
+            self._next()
+            return ast.FloatLit(tok.loc, tok.value)
+        if tok.is_kw("malloc"):
+            self._next()
+            self._expect_punct("(")
+            size = self._parse_expr()
+            self._expect_punct(")")
+            return ast.Malloc(tok.loc, size)
+        if tok.is_kw("sizeof"):
+            self._next()
+            self._expect_punct("(")
+            spec = self._parse_type_spec()
+            self._expect_punct(")")
+            return ast.SizeOf(tok.loc, spec)
+        if tok.kind == "ident":
+            self._next()
+            if self._peek().is_punct("("):
+                self._next()
+                args: List[ast.Expr] = []
+                if not self._peek().is_punct(")"):
+                    args.append(self._parse_expr())
+                    while self._accept_punct(","):
+                        args.append(self._parse_expr())
+                self._expect_punct(")")
+                return ast.Call(tok.loc, tok.value, args)
+            return ast.Ident(tok.loc, tok.value)
+        if tok.is_punct("("):
+            self._next()
+            expr = self._parse_expr()
+            self._expect_punct(")")
+            return expr
+        raise ParseError(f"unexpected token {tok}", tok.loc)
+
+
+def parse(source: str) -> ast.Program:
+    """Parse MiniC source text into an AST."""
+    return Parser(tokenize(source)).parse_program()

@@ -1,0 +1,25 @@
+"""Clustered-VLIW machine models: resource classes, clusters, the
+intercluster move network, and the paper's machine presets."""
+
+from .machine import DEFAULT_LATENCIES, Machine
+from .presets import (
+    four_cluster_machine,
+    heterogeneous_machine,
+    paper_cluster,
+    single_cluster_machine,
+    two_cluster_machine,
+)
+from .resources import ClusterConfig, FUClass, InterclusterNetwork
+
+__all__ = [
+    "DEFAULT_LATENCIES",
+    "Machine",
+    "four_cluster_machine",
+    "heterogeneous_machine",
+    "paper_cluster",
+    "single_cluster_machine",
+    "two_cluster_machine",
+    "ClusterConfig",
+    "FUClass",
+    "InterclusterNetwork",
+]

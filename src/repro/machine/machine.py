@@ -1,0 +1,117 @@
+"""The clustered-VLIW machine description.
+
+Latencies are Itanium-like, matching the paper's methodology ("latencies
+similar to the Itanium", load latency 2 cycles).  A machine is either
+*unified* (single multiported memory reachable from every cluster's memory
+unit — the paper's upper-bound model) or *partitioned* (each cluster owns
+a scratchpad-like memory; every data object has exactly one home).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from ..ir import OpClass, Opcode, Operation
+from .resources import ClusterConfig, FUClass, InterclusterNetwork
+
+#: Default operation latencies (cycles until the result may be consumed).
+DEFAULT_LATENCIES: Dict[Opcode, int] = {
+    Opcode.MUL: 3,
+    Opcode.DIV: 8,
+    Opcode.REM: 8,
+    Opcode.FADD: 4,
+    Opcode.FSUB: 4,
+    Opcode.FMUL: 4,
+    Opcode.FDIV: 12,
+    Opcode.FNEG: 2,
+    Opcode.ITOF: 4,
+    Opcode.FTOI: 4,
+    Opcode.FCMPEQ: 2,
+    Opcode.FCMPNE: 2,
+    Opcode.FCMPLT: 2,
+    Opcode.FCMPLE: 2,
+    Opcode.FCMPGT: 2,
+    Opcode.FCMPGE: 2,
+    Opcode.LOAD: 2,
+    Opcode.STORE: 1,
+    Opcode.MALLOC: 2,
+    Opcode.CALL: 1,
+    Opcode.BR: 1,
+    Opcode.CBR: 1,
+    Opcode.RET: 1,
+}
+
+_CLASS_TO_FU = {
+    OpClass.INT_ALU: FUClass.INT,
+    OpClass.FLOAT_ALU: FUClass.FLOAT,
+    OpClass.MEMORY: FUClass.MEM,
+    OpClass.BRANCH: FUClass.BRANCH,
+}
+
+
+class Machine:
+    """A multicluster VLIW processor model."""
+
+    def __init__(
+        self,
+        clusters: List[ClusterConfig],
+        network: InterclusterNetwork,
+        unified_memory: bool = False,
+        latencies: Optional[Dict[Opcode, int]] = None,
+    ):
+        if not clusters:
+            raise ValueError("machine needs at least one cluster")
+        self.clusters = list(clusters)
+        self.network = network
+        self.unified_memory = unified_memory
+        self.latencies = dict(DEFAULT_LATENCIES)
+        if latencies:
+            self.latencies.update(latencies)
+
+    # -- queries --------------------------------------------------------------------
+
+    @property
+    def num_clusters(self) -> int:
+        return len(self.clusters)
+
+    @property
+    def move_latency(self) -> int:
+        return self.network.move_latency
+
+    def latency_of(self, op: Operation) -> int:
+        if op.opcode is Opcode.ICMOVE:
+            return self.network.move_latency
+        return self.latencies.get(op.opcode, 1)
+
+    def fu_class_of(self, op: Operation) -> Optional[FUClass]:
+        """FU class executing the op; None for bus-only ICMOVE."""
+        if op.opcode is Opcode.ICMOVE:
+            return None
+        return _CLASS_TO_FU[op.opclass]
+
+    def units(self, cluster: int, cls: FUClass) -> int:
+        return self.clusters[cluster].units(cls)
+
+    def with_move_latency(self, latency: int) -> "Machine":
+        """A copy of this machine with a different intercluster latency."""
+        return Machine(
+            self.clusters,
+            InterclusterNetwork(latency, self.network.bandwidth),
+            self.unified_memory,
+            self.latencies,
+        )
+
+    def as_unified(self) -> "Machine":
+        """A copy modelling the single, shared multiported memory."""
+        return Machine(self.clusters, self.network, True, self.latencies)
+
+    def as_partitioned(self) -> "Machine":
+        """A copy modelling fully partitioned per-cluster memories."""
+        return Machine(self.clusters, self.network, False, self.latencies)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        kind = "unified" if self.unified_memory else "partitioned"
+        return (
+            f"<machine {self.num_clusters} clusters, {kind} memory, "
+            f"move latency {self.move_latency}>"
+        )

@@ -1,0 +1,123 @@
+"""Bottom-Up Greedy (BUG) operation partitioning.
+
+The first clustering algorithm, from Ellis's Bulldog compiler [5], kept
+here as a literature baseline for the computation-partitioning phase:
+operations are assigned to clusters one at a time, greedily minimising
+the estimated completion time of each operation given where its operands
+live and how loaded each cluster's function units already are.
+
+It honours the same memory locks as RHOP, so it can serve as a drop-in
+phase-2 replacement in ablation studies (GDP homes + BUG computation).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from ..analysis.cfg import CFG
+from ..ir import Function, Module
+from ..machine import Machine
+from ..schedule.depgraph import DependenceGraph
+from .estimator import effective_move_latency
+from .rhop import RHOPResult
+
+
+class BUG:
+    """Greedy per-operation partitioner (Bulldog-style)."""
+
+    def __init__(self, machine: Machine):
+        self.machine = machine
+
+    def partition_module(
+        self, module: Module, mem_locks: Optional[Dict[int, int]] = None
+    ) -> RHOPResult:
+        result = RHOPResult()
+        for func in module:
+            self.partition_function(func, result, mem_locks or {})
+        return result
+
+    def partition_function(
+        self,
+        func: Function,
+        result: Optional[RHOPResult] = None,
+        mem_locks: Optional[Dict[int, int]] = None,
+    ) -> RHOPResult:
+        result = result or RHOPResult()
+        mem_locks = mem_locks or {}
+        homes = result.homes_for(func.name)
+        cfg = CFG(func)
+        for name in cfg.reverse_postorder():
+            block = func.blocks[name]
+            if block.ops:
+                self._partition_block(func, block, homes, mem_locks, result)
+        return result
+
+    def _partition_block(self, func, block, homes, mem_locks, result) -> None:
+        machine = self.machine
+        k = machine.num_clusters
+        move_latency = effective_move_latency(machine)
+        graph = DependenceGraph(block, machine.latency_of)
+
+        # Per-cluster, per-FU-class accumulated work (resource pressure).
+        load: Dict[tuple, float] = {}
+        ready: Dict[int, float] = {}  # op uid -> completion time estimate
+        value_cluster: Dict[int, int] = {}  # vid -> cluster holding the value
+
+        for vid, home in homes.items():
+            value_cluster[vid] = home
+
+        for op in graph.ops:
+            choices = range(k)
+            if op.uid in mem_locks:
+                choices = [mem_locks[op.uid]]
+            elif op.dest is not None and op.dest.vid in homes:
+                choices = [homes[op.dest.vid]]
+
+            best_cluster, best_cost = 0, None
+            for c in choices:
+                cls = machine.fu_class_of(op)
+                if cls is not None and machine.units(c, cls) == 0:
+                    continue
+                # Operand availability including a move penalty for values
+                # living on other clusters.
+                avail = 0.0
+                for edge in graph.preds[op.uid]:
+                    if not edge.is_flow():
+                        continue
+                    t = ready.get(edge.src, 0.0)
+                    src_op = graph.op_by_uid[edge.src]
+                    src_cluster = result.assignment.get(src_op.uid, c)
+                    if src_cluster != c:
+                        t += move_latency
+                    avail = max(avail, t)
+                for src in op.register_srcs():
+                    owner = value_cluster.get(src.vid)
+                    if owner is not None and owner != c:
+                        avail = max(avail, float(move_latency))
+                pressure = 0.0
+                if cls is not None:
+                    pressure = load.get((c, cls), 0.0) / machine.units(c, cls)
+                finish = max(avail, pressure) + machine.latency_of(op)
+                if best_cost is None or finish < best_cost:
+                    best_cost = finish
+                    best_cluster = c
+            if best_cost is None:
+                best_cluster = 0
+                best_cost = float(machine.latency_of(op))
+
+            result.assignment[op.uid] = best_cluster
+            ready[op.uid] = best_cost
+            cls = machine.fu_class_of(op)
+            if cls is not None:
+                key = (best_cluster, cls)
+                load[key] = load.get(key, 0.0) + 1.0
+            if op.dest is not None:
+                value_cluster[op.dest.vid] = best_cluster
+                if op.dest.vid not in homes:
+                    homes[op.dest.vid] = best_cluster
+
+        param_vids = {p.vid for p in func.params}
+        for op in block.ops:
+            for src in op.register_srcs():
+                if src.vid in param_vids and src.vid not in homes:
+                    homes[src.vid] = result.assignment[op.uid]

@@ -1,0 +1,71 @@
+"""One-call driver: compile → profile → partition → schedule → evaluate."""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional
+
+from ..machine import Machine, two_cluster_machine
+from ..partition.gdp import GDPConfig
+from ..partition.rhop import RHOPConfig
+from .prepared import PreparedProgram
+from .schemes import SCHEME_TABLE, SchemeOutcome, run_scheme
+
+
+class Pipeline:
+    """Runs partitioning schemes over prepared programs.
+
+    Example
+    -------
+    >>> from repro.machine import two_cluster_machine
+    >>> from repro.pipeline import Pipeline
+    >>> pipe = Pipeline(two_cluster_machine(move_latency=5))
+    """
+
+    def __init__(
+        self,
+        machine: Optional[Machine] = None,
+        gdp_config: Optional[GDPConfig] = None,
+        rhop_config: Optional[RHOPConfig] = None,
+    ):
+        self.machine = machine or two_cluster_machine()
+        self.gdp_config = gdp_config
+        self.rhop_config = rhop_config
+
+    def prepare(self, source: str, name: str = "program") -> PreparedProgram:
+        return PreparedProgram.from_source(source, name)
+
+    def run(
+        self,
+        prepared: PreparedProgram,
+        scheme: str = "gdp",
+        object_home: Optional[Dict[str, int]] = None,
+    ) -> SchemeOutcome:
+        return run_scheme(
+            prepared,
+            self.machine,
+            scheme,
+            gdp_config=self.gdp_config,
+            rhop_config=self.rhop_config,
+            object_home=object_home,
+        )
+
+    def run_all(
+        self,
+        prepared: PreparedProgram,
+        schemes: Iterable[str] = ("unified", "gdp", "profilemax", "naive"),
+    ) -> Dict[str, SchemeOutcome]:
+        return {name: self.run(prepared, name) for name in schemes}
+
+    def compare(
+        self,
+        prepared: PreparedProgram,
+        schemes: Iterable[str] = ("gdp", "profilemax", "naive"),
+    ) -> Dict[str, float]:
+        """Relative performance of each scheme vs the unified upper bound
+        (the paper's headline metric; 1.0 = matches unified memory)."""
+        outcomes = self.run_all(prepared, ["unified"] + list(schemes))
+        base = outcomes["unified"].cycles
+        return {
+            name: (base / outcomes[name].cycles if outcomes[name].cycles else 0.0)
+            for name in schemes
+        }

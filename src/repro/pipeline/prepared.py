@@ -1,0 +1,95 @@
+"""Program preparation shared by every partitioning scheme.
+
+One :class:`PreparedProgram` per benchmark: the annotated module, its
+execution profile, the data-object table, the program-level DFG, and the
+access-pattern merge — everything the schemes consume, computed once.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Optional
+
+from ..analysis import ObjectTable, PointsTo, ProgramGraph, annotate_memory_ops
+from ..ir import Module, clone_module, verify_module
+from ..lang import compile_source
+from ..partition.merges import MergeResult, access_pattern_merge
+from ..profiler import Interpreter, ProfileData
+
+
+class PreparedProgram:
+    """A compiled, profiled, annotated program ready for partitioning."""
+
+    def __init__(
+        self,
+        module: Module,
+        profile: Optional[ProfileData] = None,
+        max_steps: int = 50_000_000,
+    ):
+        self.module = module
+        if profile is None:
+            interp = Interpreter(module, max_steps=max_steps)
+            self.result = interp.run()
+            profile = interp.profile
+        else:
+            self.result = None
+        self.profile = profile
+        self.pointsto: PointsTo = annotate_memory_ops(module)
+        self.objects = ObjectTable(module, dict(profile.heap_sizes))
+        self.block_freq: Callable[[str, str], float] = profile.frequency_fn()
+        self.program_graph = ProgramGraph(module, self.block_freq)
+        self.merge: MergeResult = access_pattern_merge(
+            self.program_graph, self.objects
+        )
+
+    #: Default unroll factor — restores the region-level ILP the paper's
+    #: Trimaran superblocks provide (see repro.lang.unroll).
+    DEFAULT_UNROLL = 4
+
+    @classmethod
+    def from_source(
+        cls,
+        source: str,
+        name: str = "program",
+        max_steps: int = 50_000_000,
+        unroll_factor: Optional[int] = None,
+        if_convert: bool = True,
+        optimize: bool = True,
+    ) -> "PreparedProgram":
+        """Compile MiniC source — with if-conversion, loop unrolling and
+        scalar optimization by default, recovering the region-level ILP
+        and code quality of the paper's hyperblock-forming compiler —
+        then profile and prepare it."""
+        if unroll_factor is None:
+            unroll_factor = cls.DEFAULT_UNROLL
+        module = compile_source(
+            source, name, unroll_factor=unroll_factor, if_convert=if_convert
+        )
+        if optimize:
+            from ..opt import optimize_module
+
+            optimize_module(module)
+        return cls(module, max_steps=max_steps)
+
+    # -- per-scheme working copies -------------------------------------------------
+
+    def fresh_copy(self):
+        """(clone, uid map) — schemes mutate clones, never the original."""
+        return clone_module(self.module)
+
+    def translated_op_counts(self, uid_map: Dict[int, int]):
+        """Per-op dynamic object-access counters re-keyed onto a clone."""
+        return {
+            uid_map[uid]: counts
+            for uid, counts in self.profile.op_object_counts.items()
+            if uid in uid_map
+        }
+
+    def object_access_counts(self) -> Dict[str, int]:
+        """Total dynamic accesses per data object."""
+        return dict(self.profile.object_access_counts())
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"<prepared {self.module.name}: {self.module.op_count()} ops, "
+            f"{len(self.objects)} objects>"
+        )

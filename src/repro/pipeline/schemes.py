@@ -1,0 +1,339 @@
+"""The four object/computation partitioning schemes of Table 1.
+
+| Algorithm   | Object partitioner        | Object assignment      | Computation |
+|-------------|---------------------------|------------------------|-------------|
+| GDP         | Global Data Partitioning  | (from graph partition) | RHOP        |
+| Profile Max | RHOP (first pass)         | Greedy by dyn. freq    | RHOP        |
+| Naïve       | none (post-pass moves)    | max-access, no balance | RHOP        |
+| Unified     | n/a (single memory)       | n/a                    | RHOP        |
+
+Every scheme works on its own clone of the prepared module, ends with
+intercluster move insertion, and is evaluated by profile-weighted list
+scheduling.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Callable, Dict, Optional
+
+from ..evalmodel import EvalResult, evaluate_module
+from ..ir import Module
+from ..machine import Machine
+from ..partition.assign import insert_intercluster_moves
+from ..partition.gdp import DataPartition, GDPConfig, gdp_partition
+from ..partition.locks import memory_locks
+from ..partition.rhop import RHOP, RHOPConfig, RHOPResult
+from .prepared import PreparedProgram
+
+#: Scheme descriptors used to regenerate Table 1.
+SCHEME_TABLE = {
+    "gdp": {
+        "label": "GDP",
+        "object_partitioner": "Global Data Partitioning",
+        "object_assignment": "multilevel graph partition (size-balanced)",
+        "computation_partitioner": "RHOP",
+        "rhop_runs": 1,
+    },
+    "profilemax": {
+        "label": "Profile Max",
+        "object_partitioner": "RHOP",
+        "object_assignment": "Greedy (dynamic frequency order)",
+        "computation_partitioner": "RHOP",
+        "rhop_runs": 2,
+    },
+    "naive": {
+        "label": "Naive",
+        "object_partitioner": "None - data object moves inserted "
+        "post-computation partitioning",
+        "object_assignment": "highest-access cluster (no balance)",
+        "computation_partitioner": "RHOP",
+        "rhop_runs": 1,
+    },
+    "unified": {
+        "label": "Unified Memory",
+        "object_partitioner": "N/A - data object moves not required for "
+        "single, unified memory",
+        "object_assignment": "N/A",
+        "computation_partitioner": "RHOP",
+        "rhop_runs": 1,
+    },
+}
+
+
+class SchemeOutcome:
+    """Everything one scheme produced for one benchmark/machine pair."""
+
+    def __init__(
+        self,
+        scheme: str,
+        machine: Machine,
+        module: Module,
+        assignment: Dict[int, int],
+        object_home: Optional[Dict[str, int]],
+        eval_result: EvalResult,
+        rhop_seconds: float,
+        rhop_runs: int,
+    ):
+        self.scheme = scheme
+        self.machine = machine
+        self.module = module
+        self.assignment = assignment
+        self.object_home = object_home
+        self.eval = eval_result
+        self.rhop_seconds = rhop_seconds
+        self.rhop_runs = rhop_runs
+
+    @property
+    def cycles(self) -> float:
+        return self.eval.cycles
+
+    @property
+    def dynamic_moves(self) -> float:
+        return self.eval.dynamic_moves
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<{self.scheme}: {self.cycles:.0f} cycles>"
+
+
+def run_scheme(
+    prepared: PreparedProgram,
+    machine: Machine,
+    scheme: str,
+    gdp_config: Optional[GDPConfig] = None,
+    rhop_config: Optional[RHOPConfig] = None,
+    object_home: Optional[Dict[str, int]] = None,
+    pmax_imbalance: float = 1.15,
+) -> SchemeOutcome:
+    """Run one named scheme end to end.
+
+    ``object_home`` overrides the object placement (used by the exhaustive
+    search of Figure 9 with the "gdp" second-pass machinery).
+    """
+    if scheme == "gdp":
+        return run_gdp(prepared, machine, gdp_config, rhop_config, object_home)
+    if scheme == "profilemax":
+        return run_profile_max(prepared, machine, rhop_config, pmax_imbalance)
+    if scheme == "naive":
+        return run_naive(prepared, machine, rhop_config)
+    if scheme == "unified":
+        return run_unified(prepared, machine, rhop_config)
+    raise ValueError(f"unknown scheme {scheme!r} (see SCHEME_TABLE)")
+
+
+def finalize_and_evaluate(
+    prepared: PreparedProgram,
+    machine: Machine,
+    module: Module,
+    assignment: Dict[int, int],
+    rhop_result: RHOPResult,
+) -> EvalResult:
+    """Insert intercluster moves and evaluate cycles.
+
+    Public so ablations can plug alternative computation partitioners
+    (e.g. BUG) into the same finishing pipeline."""
+    for func in module:
+        homes = rhop_result.vreg_home.get(func.name, {})
+        param_homes = {
+            p.vid: homes[p.vid] for p in func.params if p.vid in homes
+        }
+        insert_intercluster_moves(func, assignment, machine, param_homes)
+    return evaluate_module(module, assignment, machine, prepared.block_freq)
+
+
+def run_unified(
+    prepared: PreparedProgram,
+    machine: Machine,
+    rhop_config: Optional[RHOPConfig] = None,
+) -> SchemeOutcome:
+    """Upper bound: single multiported memory, plain RHOP."""
+    module, _uid_map = prepared.fresh_copy()
+    rhop = RHOP(machine.as_unified(), rhop_config, prepared.block_freq)
+    t0 = time.perf_counter()
+    result = rhop.partition_module(module)
+    rhop_seconds = time.perf_counter() - t0
+    eval_result = finalize_and_evaluate(prepared, machine, module, result.assignment, result)
+    return SchemeOutcome(
+        "unified", machine, module, result.assignment, None, eval_result,
+        rhop_seconds, 1,
+    )
+
+
+def run_gdp(
+    prepared: PreparedProgram,
+    machine: Machine,
+    gdp_config: Optional[GDPConfig] = None,
+    rhop_config: Optional[RHOPConfig] = None,
+    object_home: Optional[Dict[str, int]] = None,
+) -> SchemeOutcome:
+    """The paper's method: global data partitioning, then locked RHOP."""
+    if object_home is None:
+        data_partition = gdp_partition(
+            prepared.module,
+            prepared.objects,
+            machine.num_clusters,
+            block_freq=prepared.block_freq,
+            config=gdp_config,
+            merge=prepared.merge,
+            program_graph=prepared.program_graph,
+        )
+        object_home = data_partition.object_home
+    module, _uid_map = prepared.fresh_copy()
+    locks = memory_locks(module, object_home, prepared.object_access_counts())
+    rhop = RHOP(machine.as_partitioned(), rhop_config, prepared.block_freq)
+    t0 = time.perf_counter()
+    result = rhop.partition_module(module, mem_locks=locks)
+    rhop_seconds = time.perf_counter() - t0
+    eval_result = finalize_and_evaluate(prepared, machine, module, result.assignment, result)
+    return SchemeOutcome(
+        "gdp", machine, module, result.assignment, dict(object_home),
+        eval_result, rhop_seconds, 1,
+    )
+
+
+def run_profile_max(
+    prepared: PreparedProgram,
+    machine: Machine,
+    rhop_config: Optional[RHOPConfig] = None,
+    imbalance: float = 1.15,
+) -> SchemeOutcome:
+    """Profile Max: RHOP assuming unified memory, greedy object homing by
+    dynamic access frequency (with a memory-balance threshold), then a
+    second locked RHOP run."""
+    module, uid_map = prepared.fresh_copy()
+    rhop1 = RHOP(machine.as_unified(), rhop_config, prepared.block_freq)
+    t0 = time.perf_counter()
+    first = rhop1.partition_module(module)
+    rhop_seconds = time.perf_counter() - t0
+
+    op_counts = prepared.translated_op_counts(uid_map)
+    object_home = _greedy_profile_homes(
+        prepared, module, first.assignment, op_counts, machine, imbalance
+    )
+
+    module2, _ = prepared.fresh_copy()
+    locks = memory_locks(module2, object_home, prepared.object_access_counts())
+    rhop2 = RHOP(machine.as_partitioned(), rhop_config, prepared.block_freq)
+    t0 = time.perf_counter()
+    second = rhop2.partition_module(module2, mem_locks=locks)
+    rhop_seconds += time.perf_counter() - t0
+    eval_result = finalize_and_evaluate(prepared, machine, module2, second.assignment, second)
+    return SchemeOutcome(
+        "profilemax", machine, module2, second.assignment, object_home,
+        eval_result, rhop_seconds, 2,
+    )
+
+
+def _greedy_profile_homes(
+    prepared: PreparedProgram,
+    module: Module,
+    assignment: Dict[int, int],
+    op_counts,
+    machine: Machine,
+    imbalance: float,
+) -> Dict[str, int]:
+    """Greedy object homing in dynamic-frequency order with a balance cap.
+
+    Objects grouped exactly as GDP's coarsening grouped them (the paper:
+    "The program-level graph of the application is created and coarsened
+    as before, so objects are grouped together the same").
+    """
+    k = machine.num_clusters
+    merge = prepared.merge
+    groups = merge.object_groups()
+
+    # Dynamic accesses of each group per cluster, under the first-pass
+    # (unified) computation partition.
+    group_freq: Dict[int, Dict[int, float]] = {g.gid: {} for g in groups}
+    group_by_object = merge.group_of_object
+    for func in module:
+        for op in func.operations():
+            if not op.is_memory_access():
+                continue
+            counts = op_counts.get(op.uid)
+            cluster = assignment[op.uid]
+            for obj in op.mem_objects():
+                gid = group_by_object.get(obj)
+                if gid is None:
+                    continue
+                dyn = counts.get(obj, 0) if counts else 0
+                per = group_freq.setdefault(gid, {})
+                per[cluster] = per.get(cluster, 0.0) + dyn
+
+    total_bytes = float(prepared.objects.total_size())
+    cap = imbalance * total_bytes / k if total_bytes > 0 else float("inf")
+    loads = [0.0] * k
+    object_home: Dict[str, int] = {}
+
+    ordered = sorted(
+        groups,
+        key=lambda g: -sum(group_freq.get(g.gid, {}).values()),
+    )
+    for group in ordered:
+        per = group_freq.get(group.gid, {})
+        preference = sorted(
+            range(k), key=lambda c: (-per.get(c, 0.0), loads[c], c)
+        )
+        size = prepared.objects.size_of(group.object_ids)
+        chosen = None
+        for c in preference:
+            if loads[c] + size <= cap or size > cap:
+                chosen = c
+                break
+        if chosen is None:
+            chosen = min(range(k), key=lambda c: loads[c])
+        loads[chosen] += size
+        for obj in group.object_ids:
+            object_home[obj] = chosen
+    return object_home
+
+
+def run_naive(
+    prepared: PreparedProgram,
+    machine: Machine,
+    rhop_config: Optional[RHOPConfig] = None,
+) -> SchemeOutcome:
+    """Naïve post-pass placement (Section 2 / Figure 2): partition assuming
+    unified memory, then home each object where it is accessed most and
+    patch remote accesses with intercluster transfers.  No balance, and
+    the computation partitioner never sees the data locations."""
+    module, uid_map = prepared.fresh_copy()
+    rhop = RHOP(machine.as_unified(), rhop_config, prepared.block_freq)
+    t0 = time.perf_counter()
+    result = rhop.partition_module(module)
+    rhop_seconds = time.perf_counter() - t0
+    assignment = dict(result.assignment)
+
+    op_counts = prepared.translated_op_counts(uid_map)
+    k = machine.num_clusters
+    per_object: Dict[str, Dict[int, float]] = {}
+    for func in module:
+        for op in func.operations():
+            if not op.is_memory_access():
+                continue
+            counts = op_counts.get(op.uid)
+            cluster = assignment[op.uid]
+            for obj in op.mem_objects():
+                dyn = counts.get(obj, 0) if counts else 0
+                per = per_object.setdefault(obj, {})
+                per[cluster] = per.get(cluster, 0.0) + dyn
+
+    object_home: Dict[str, int] = {}
+    for obj in prepared.objects.ids():
+        per = per_object.get(obj, {})
+        object_home[obj] = (
+            max(range(k), key=lambda c: (per.get(c, 0.0), -c)) if per else 0
+        )
+
+    # Post-pass: rebind each memory operation to its object's cluster; the
+    # generic move inserter then materialises the required transfers.
+    access_counts = prepared.object_access_counts()
+    rebinds = memory_locks(module, object_home, access_counts)
+    for uid, cluster in rebinds.items():
+        assignment[uid] = cluster
+
+    eval_result = finalize_and_evaluate(prepared, machine, module, assignment, result)
+    return SchemeOutcome(
+        "naive", machine, module, assignment, object_home, eval_result,
+        rhop_seconds, 1,
+    )

@@ -1,0 +1,17 @@
+"""Profiling interpreter: executes IR modules and gathers the dynamic
+profile (block counts, per-object access counts, heap sizes) consumed by
+the partitioning algorithms."""
+
+from .interp import Interpreter, InterpreterError, StepLimitExceeded, profile_module
+from .memory import Memory, MemoryError_
+from .profiledata import ProfileData
+
+__all__ = [
+    "Interpreter",
+    "InterpreterError",
+    "StepLimitExceeded",
+    "profile_module",
+    "Memory",
+    "MemoryError_",
+    "ProfileData",
+]

@@ -1,0 +1,242 @@
+"""Direct IR interpreter with profiling.
+
+Executes a module starting at ``main`` with C-like semantics: 32-bit
+wrapping signed integer arithmetic, truncating division, arithmetic right
+shift, IEEE doubles for ``f64``.  While running it fills a
+:class:`~repro.profiler.profiledata.ProfileData` with block counts,
+per-object access counts and heap allocation sizes.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Union
+
+from ..ir import (
+    Constant,
+    Function,
+    FunctionRef,
+    GlobalAddress,
+    Module,
+    Opcode,
+    Operation,
+    VirtualRegister,
+)
+from .memory import Memory, _wrap32
+from .profiledata import ProfileData
+
+
+class InterpreterError(Exception):
+    """Runtime failure during interpretation (bad access, step limit...)."""
+
+
+class StepLimitExceeded(InterpreterError):
+    """The program ran longer than the configured instruction budget."""
+
+
+class Interpreter:
+    """Executes a module and gathers an execution profile."""
+
+    def __init__(self, module: Module, max_steps: int = 50_000_000):
+        self.module = module
+        self.memory = Memory(module)
+        self.profile = ProfileData()
+        self.max_steps = max_steps
+        self._steps = 0
+
+    # -- public API ----------------------------------------------------------------
+
+    def run(self, args: Optional[List[Union[int, float]]] = None) -> Union[int, float, None]:
+        """Execute ``main`` and return its result."""
+        main = self.module.main
+        result = self.call(main, args or [])
+        self.profile.instructions_executed = self._steps
+        return result
+
+    def call(self, func: Function, args: List[Union[int, float]]):
+        if len(args) != len(func.params):
+            raise InterpreterError(
+                f"{func.name} expects {len(func.params)} args, got {len(args)}"
+            )
+        regs: Dict[int, Union[int, float]] = {}
+        for param, arg in zip(func.params, args):
+            regs[param.vid] = arg
+        block = func.entry
+        self.profile.record_call(func.name)
+        while True:
+            self.profile.record_block(func.name, block.name)
+            next_block: Optional[str] = None
+            for op in block.ops:
+                self._steps += 1
+                if self._steps > self.max_steps:
+                    raise StepLimitExceeded(
+                        f"exceeded {self.max_steps} interpreted operations"
+                    )
+                result = self._execute(func, op, regs)
+                if result is not None:
+                    kind, payload = result
+                    if kind == "ret":
+                        return payload
+                    next_block = payload
+                    break
+            if next_block is None:
+                raise InterpreterError(
+                    f"block {func.name}/{block.name} fell through"
+                )
+            block = func.blocks[next_block]
+
+    # -- operand evaluation -----------------------------------------------------------
+
+    def _value(self, regs: Dict[int, Union[int, float]], v) -> Union[int, float]:
+        if isinstance(v, Constant):
+            return v.value
+        if isinstance(v, VirtualRegister):
+            if v.vid not in regs:
+                raise InterpreterError(f"read of uninitialised register {v}")
+            return regs[v.vid]
+        if isinstance(v, GlobalAddress):
+            return self.memory.address_of_global(v.symbol)
+        if isinstance(v, FunctionRef):
+            raise InterpreterError("function references are not first-class")
+        raise InterpreterError(f"unknown value kind {v!r}")
+
+    # -- execution ----------------------------------------------------------------------
+
+    def _execute(self, func: Function, op: Operation, regs):
+        opcode = op.opcode
+        handler = _HANDLERS.get(opcode)
+        if handler is not None:
+            regs[op.dest.vid] = handler(
+                *[self._value(regs, s) for s in op.srcs]
+            )
+            return None
+        if opcode is Opcode.LOAD:
+            addr = int(self._value(regs, op.srcs[0]))
+            self._record_access(op, addr)
+            regs[op.dest.vid] = self.memory.load(addr, op.dest.ty.is_float())
+            return None
+        if opcode is Opcode.STORE:
+            value = self._value(regs, op.srcs[0])
+            addr = int(self._value(regs, op.srcs[1]))
+            self._record_access(op, addr)
+            self.memory.store(addr, value)
+            return None
+        if opcode is Opcode.MALLOC:
+            size = int(self._value(regs, op.srcs[0]))
+            site = op.attrs["site"]
+            addr = self.memory.malloc(size, site)
+            self.profile.record_malloc(f"h:{site}", max(size, 1))
+            regs[op.dest.vid] = addr
+            return None
+        if opcode is Opcode.BR:
+            return ("br", op.targets[0])
+        if opcode is Opcode.CBR:
+            cond = self._value(regs, op.srcs[0])
+            return ("br", op.targets[0] if cond != 0 else op.targets[1])
+        if opcode is Opcode.RET:
+            value = self._value(regs, op.srcs[0]) if op.srcs else None
+            return ("ret", value)
+        if opcode is Opcode.CALL:
+            return self._execute_call(op, regs)
+        if opcode is Opcode.MOV or opcode is Opcode.ICMOVE:
+            regs[op.dest.vid] = self._value(regs, op.srcs[0])
+            return None
+        raise InterpreterError(f"cannot interpret opcode {opcode}")
+
+    def _execute_call(self, op: Operation, regs):
+        callee = op.attrs["callee"]
+        args = [self._value(regs, s) for s in op.srcs[1:]]
+        if callee == "print_int":
+            self.profile.output.append(int(args[0]))
+            return None
+        if callee == "print_float":
+            self.profile.output.append(float(args[0]))
+            return None
+        if callee == "abort":
+            raise InterpreterError("program aborted")
+        if callee not in self.module.functions:
+            raise InterpreterError(f"call to unknown function {callee!r}")
+        result = self.call(self.module.functions[callee], args)
+        if op.dest is not None:
+            regs[op.dest.vid] = result if result is not None else 0
+        return None
+
+    def _record_access(self, op: Operation, addr: int) -> None:
+        obj = self.memory.object_at(addr)
+        if obj is None:
+            raise InterpreterError(
+                f"access to unmapped address {addr:#x} by op {op}"
+            )
+        self.profile.record_access(op.uid, obj)
+
+    @property
+    def steps(self) -> int:
+        return self._steps
+
+
+# -- scalar semantics ---------------------------------------------------------------
+
+def _idiv(a, b):
+    a, b = int(a), int(b)
+    if b == 0:
+        raise InterpreterError("integer division by zero")
+    q = abs(a) // abs(b)
+    return _wrap32(-q if (a < 0) != (b < 0) else q)
+
+
+def _irem(a, b):
+    a, b = int(a), int(b)
+    if b == 0:
+        raise InterpreterError("integer remainder by zero")
+    return _wrap32(a - _idiv(a, b) * b)
+
+
+def _fdiv(a, b):
+    if b == 0.0:
+        raise InterpreterError("float division by zero")
+    return float(a) / float(b)
+
+
+_HANDLERS = {
+    Opcode.ADD: lambda a, b: _wrap32(int(a) + int(b)),
+    Opcode.SUB: lambda a, b: _wrap32(int(a) - int(b)),
+    Opcode.MUL: lambda a, b: _wrap32(int(a) * int(b)),
+    Opcode.DIV: _idiv,
+    Opcode.REM: _irem,
+    Opcode.NEG: lambda a: _wrap32(-int(a)),
+    Opcode.AND: lambda a, b: _wrap32(int(a) & int(b)),
+    Opcode.OR: lambda a, b: _wrap32(int(a) | int(b)),
+    Opcode.XOR: lambda a, b: _wrap32(int(a) ^ int(b)),
+    Opcode.NOT: lambda a: _wrap32(~int(a)),
+    Opcode.SHL: lambda a, b: _wrap32(int(a) << (int(b) & 31)),
+    Opcode.SHR: lambda a, b: int(a) >> (int(b) & 31),  # arithmetic shift
+    Opcode.CMPEQ: lambda a, b: 1 if a == b else 0,
+    Opcode.CMPNE: lambda a, b: 1 if a != b else 0,
+    Opcode.CMPLT: lambda a, b: 1 if a < b else 0,
+    Opcode.CMPLE: lambda a, b: 1 if a <= b else 0,
+    Opcode.CMPGT: lambda a, b: 1 if a > b else 0,
+    Opcode.CMPGE: lambda a, b: 1 if a >= b else 0,
+    Opcode.SELECT: lambda c, a, b: a if c != 0 else b,
+    Opcode.PTRADD: lambda a, b: int(a) + int(b),
+    Opcode.FADD: lambda a, b: float(a) + float(b),
+    Opcode.FSUB: lambda a, b: float(a) - float(b),
+    Opcode.FMUL: lambda a, b: float(a) * float(b),
+    Opcode.FDIV: _fdiv,
+    Opcode.FNEG: lambda a: -float(a),
+    Opcode.FCMPEQ: lambda a, b: 1 if float(a) == float(b) else 0,
+    Opcode.FCMPNE: lambda a, b: 1 if float(a) != float(b) else 0,
+    Opcode.FCMPLT: lambda a, b: 1 if float(a) < float(b) else 0,
+    Opcode.FCMPLE: lambda a, b: 1 if float(a) <= float(b) else 0,
+    Opcode.FCMPGT: lambda a, b: 1 if float(a) > float(b) else 0,
+    Opcode.FCMPGE: lambda a, b: 1 if float(a) >= float(b) else 0,
+    Opcode.ITOF: lambda a: float(int(a)),
+    Opcode.FTOI: lambda a: _wrap32(int(a)),
+}
+
+
+def profile_module(
+    module: Module, max_steps: int = 50_000_000
+) -> ProfileData:
+    """Run ``main`` and return the collected profile."""
+    interp = Interpreter(module, max_steps=max_steps)
+    interp.run()
+    return interp.profile

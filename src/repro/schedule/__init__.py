@@ -1,0 +1,7 @@
+"""VLIW scheduling: per-block dependence graphs and the cycle-accurate
+resource-table list scheduler."""
+
+from .depgraph import DepEdge, DependenceGraph
+from .listsched import ListScheduler, ScheduleResult
+
+__all__ = ["DepEdge", "DependenceGraph", "ListScheduler", "ScheduleResult"]

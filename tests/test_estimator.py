@@ -1,0 +1,153 @@
+"""Unit tests for the RHOP schedule estimator."""
+
+import pytest
+
+from repro.ir import Constant, Function, IRBuilder
+from repro.ir.types import INT
+from repro.machine import two_cluster_machine
+from repro.partition import Anchor, INFEASIBLE, ScheduleEstimator
+from repro.partition.estimator import (
+    ESTIMATOR_MOVE_OVERLAP_CAP,
+    effective_move_latency,
+)
+from repro.schedule import DependenceGraph
+
+
+def chain_block(n=4):
+    """A serial chain: v0 -> v1 -> ... -> ret."""
+    func = Function("f", [], INT)
+    b = IRBuilder(func)
+    entry = b.new_block("entry")
+    b.set_block(entry)
+    v = b.mov(b.const(1))
+    for _ in range(n - 1):
+        v = b.add(v, b.const(1))
+    b.ret(v)
+    return func, entry
+
+
+def wide_block(n=8):
+    """n independent adds."""
+    func = Function("f", [], INT)
+    b = IRBuilder(func)
+    entry = b.new_block("entry")
+    b.set_block(entry)
+    for i in range(n):
+        b.add(b.const(i), b.const(1))
+    b.ret(Constant(0, INT))
+    return func, entry
+
+
+def estimator_for(block, machine=None, anchors=()):
+    machine = machine or two_cluster_machine(move_latency=5)
+    graph = DependenceGraph(block, machine.latency_of)
+    return ScheduleEstimator(graph, machine, anchors), graph
+
+
+class TestEffectiveLatency:
+    def test_capped(self):
+        assert effective_move_latency(two_cluster_machine(move_latency=10)) == \
+            ESTIMATOR_MOVE_OVERLAP_CAP
+
+    def test_low_latency_uncapped(self):
+        assert effective_move_latency(two_cluster_machine(move_latency=1)) == 1
+
+
+class TestEstimate:
+    def test_single_cluster_chain_equals_critical_path(self):
+        _, block = chain_block(5)
+        est, graph = estimator_for(block)
+        cluster_of = {op.uid: 0 for op in block.ops}
+        assert est.estimate(cluster_of) == graph.critical_path_length()
+
+    def test_cut_chain_costs_moves(self):
+        _, block = chain_block(5)
+        est, _ = estimator_for(block)
+        same = {op.uid: 0 for op in block.ops}
+        alternating = {
+            op.uid: i % 2 for i, op in enumerate(block.ops)
+        }
+        assert est.estimate(alternating) > est.estimate(same)
+
+    def test_wide_block_prefers_split(self):
+        """Resource-bound code estimates lower when split across clusters."""
+        _, block = wide_block(12)
+        est, _ = estimator_for(block)
+        together = {op.uid: 0 for op in block.ops}
+        split = {op.uid: i % 2 for i, op in enumerate(block.ops)}
+        assert est.estimate(split) <= est.estimate(together)
+
+    def test_infeasible_when_no_unit(self):
+        func = Function("f", [], INT)
+        b = IRBuilder(func)
+        entry = b.new_block("entry")
+        b.set_block(entry)
+        f = b.fadd(b.const(1.0), b.const(2.0))
+        b.ret(Constant(0, INT))
+        from repro.machine import ClusterConfig, FUClass, InterclusterNetwork, Machine
+
+        no_float = ClusterConfig(
+            {FUClass.INT: 2, FUClass.FLOAT: 0, FUClass.MEM: 1, FUClass.BRANCH: 1}
+        )
+        has_float = ClusterConfig(
+            {FUClass.INT: 2, FUClass.FLOAT: 1, FUClass.MEM: 1, FUClass.BRANCH: 1}
+        )
+        machine = Machine([no_float, has_float], InterclusterNetwork(1))
+        est, _ = estimator_for(entry, machine)
+        on_bad = {op.uid: 0 for op in entry.ops}
+        on_good = {op.uid: 1 for op in entry.ops}
+        assert est.estimate(on_bad) == INFEASIBLE
+        assert est.estimate(on_good) < INFEASIBLE
+
+    def test_partial_assignment_ignores_unplaced(self):
+        _, block = wide_block(6)
+        est, _ = estimator_for(block)
+        partial = {block.ops[0].uid: 0}
+        full = {op.uid: 0 for op in block.ops}
+        assert est.estimate(partial) <= est.estimate(full)
+
+    def test_exposed_estimate_charges_full_latency(self):
+        _, block = chain_block(5)
+        machine = two_cluster_machine(move_latency=10)
+        est, _ = estimator_for(block, machine)
+        alternating = {op.uid: i % 2 for i, op in enumerate(block.ops)}
+        optimistic = est.estimate(alternating)
+        exposed = est.estimate(alternating, exposed=True)
+        assert exposed > optimistic
+
+
+class TestAnchors:
+    def test_anchor_penalises_wrong_cluster(self):
+        _, block = chain_block(3)
+        first = block.ops[0]
+        anchor = Anchor(("vreg", 99), 1, {first.uid})
+        est, _ = estimator_for(block, anchors=[anchor])
+        on_home = {op.uid: 1 for op in block.ops}
+        off_home = {op.uid: 0 for op in block.ops}
+        assert est.estimate(off_home) > est.estimate(on_home)
+
+    def test_anchor_counts_move(self):
+        _, block = chain_block(3)
+        first = block.ops[0]
+        anchor = Anchor(("vreg", 99), 1, {first.uid})
+        est, _ = estimator_for(block, anchors=[anchor])
+        off_home = {op.uid: 0 for op in block.ops}
+        on_home = {op.uid: 1 for op in block.ops}
+        assert est.move_count(off_home) == est.move_count(on_home) + 1
+
+    def test_move_count_counts_distinct_pairs(self):
+        func = Function("f", [], INT)
+        b = IRBuilder(func)
+        entry = b.new_block("entry")
+        b.set_block(entry)
+        v = b.mov(b.const(1))
+        u1 = b.add(v, b.const(1))
+        u2 = b.add(v, b.const(2))
+        b.ret(b.add(u1, u2))
+        est, _ = estimator_for(entry)
+        # v on c0; both consumers on c1 -> ONE move (value sent once).
+        asn = {op.uid: 1 for op in entry.ops}
+        asn[entry.ops[0].uid] = 0
+        cut_once = est.move_count(asn)
+        asn2 = {op.uid: 0 for op in entry.ops}
+        assert cut_once == est.move_count(asn2) + 1

@@ -1,0 +1,200 @@
+"""Unit tests for the IR structural verifier."""
+
+import pytest
+
+from repro.ir import (
+    Constant,
+    Function,
+    FunctionRef,
+    GlobalAddress,
+    IRBuilder,
+    Module,
+    Opcode,
+    Operation,
+    VerificationError,
+    VirtualRegister,
+    verify_function,
+    verify_module,
+)
+from repro.ir.types import INT, PointerType
+
+
+def valid_module():
+    mod = Module("m")
+    mod.add_global("g", INT, 0)
+    func = Function("main", [], INT)
+    b = IRBuilder(func)
+    entry = b.new_block("entry")
+    b.set_block(entry)
+    v = b.load(GlobalAddress("g", INT))
+    b.ret(v)
+    mod.add_function(func)
+    return mod
+
+
+def test_valid_module_passes():
+    verify_module(valid_module())
+
+
+def test_missing_terminator():
+    func = Function("f", [], INT)
+    block = func.add_block("entry")
+    block.append(Operation(Opcode.MOV, func.new_vreg(INT), [Constant(1)]))
+    with pytest.raises(VerificationError, match="missing terminator"):
+        verify_function(func)
+
+
+def test_empty_block():
+    func = Function("f", [], INT)
+    func.add_block("entry").append(Operation(Opcode.RET, srcs=[Constant(0)]))
+    func.add_block("dead")
+    with pytest.raises(VerificationError, match="empty block"):
+        verify_function(func)
+
+
+def test_terminator_not_last():
+    func = Function("f", [], INT)
+    block = func.add_block("entry")
+    block.append(Operation(Opcode.RET, srcs=[Constant(0)]))
+    block.append(Operation(Opcode.MOV, func.new_vreg(INT), [Constant(1)]))
+    with pytest.raises(VerificationError, match="not last"):
+        verify_function(func)
+
+
+def test_branch_to_unknown_block():
+    func = Function("f", [], INT)
+    func.add_block("entry").append(Operation(Opcode.BR, targets=["nowhere"]))
+    with pytest.raises(VerificationError, match="unknown block"):
+        verify_function(func)
+
+
+def test_use_of_undefined_register():
+    func = Function("f", [], INT)
+    block = func.add_block("entry")
+    ghost = VirtualRegister(99, INT)
+    block.append(Operation(Opcode.RET, srcs=[ghost]))
+    with pytest.raises(VerificationError, match="undefined register"):
+        verify_function(func)
+
+
+def test_parameters_are_defined():
+    p = VirtualRegister(0, INT, "a")
+    func = Function("f", [p], INT)
+    func.add_block("entry").append(Operation(Opcode.RET, srcs=[p]))
+    verify_function(func)
+
+
+def test_wrong_arity():
+    func = Function("f", [], INT)
+    block = func.add_block("entry")
+    block.append(Operation(Opcode.ADD, func.new_vreg(INT), [Constant(1)]))
+    block.append(Operation(Opcode.RET, srcs=[Constant(0)]))
+    with pytest.raises(VerificationError, match="expects 2 srcs"):
+        verify_function(func)
+
+
+def test_missing_destination():
+    func = Function("f", [], INT)
+    block = func.add_block("entry")
+    block.append(Operation(Opcode.ADD, None, [Constant(1), Constant(2)]))
+    block.append(Operation(Opcode.RET, srcs=[Constant(0)]))
+    with pytest.raises(VerificationError, match="requires a destination"):
+        verify_function(func)
+
+
+def test_store_must_not_have_destination():
+    func = Function("f", [], INT)
+    block = func.add_block("entry")
+    addr = func.new_vreg(PointerType(INT))
+    block.append(Operation(Opcode.MALLOC, addr, [Constant(4)], attrs={"site": "s"}))
+    block.append(Operation(Opcode.STORE, func.new_vreg(INT), [Constant(1), addr]))
+    block.append(Operation(Opcode.RET, srcs=[Constant(0)]))
+    with pytest.raises(VerificationError, match="must not have a destination"):
+        verify_function(func)
+
+
+def test_cbr_needs_two_targets():
+    func = Function("f", [], INT)
+    block = func.add_block("entry")
+    block.append(Operation(Opcode.CBR, srcs=[Constant(1)], targets=["entry"]))
+    with pytest.raises(VerificationError, match="expects 2 targets"):
+        verify_function(func)
+
+
+def test_malloc_requires_site():
+    func = Function("f", [], INT)
+    block = func.add_block("entry")
+    block.append(
+        Operation(Opcode.MALLOC, func.new_vreg(PointerType(INT)), [Constant(4)])
+    )
+    block.append(Operation(Opcode.RET, srcs=[Constant(0)]))
+    with pytest.raises(VerificationError, match="without allocation-site"):
+        verify_function(func)
+
+
+def test_call_requires_callee_attr():
+    func = Function("f", [], INT)
+    block = func.add_block("entry")
+    block.append(Operation(Opcode.CALL, None, [FunctionRef("g", INT)]))
+    block.append(Operation(Opcode.RET, srcs=[Constant(0)]))
+    with pytest.raises(VerificationError, match="without callee"):
+        verify_function(func)
+
+
+def test_undefined_global_reference():
+    mod = valid_module()
+    func = mod.function("main")
+    func.entry.insert(
+        0,
+        Operation(Opcode.LOAD, func.new_vreg(INT), [GlobalAddress("nope", INT)]),
+    )
+    with pytest.raises(VerificationError, match="undefined global"):
+        verify_module(mod)
+
+
+def test_call_to_undefined_function():
+    mod = valid_module()
+    func = mod.function("main")
+    func.entry.insert(
+        0,
+        Operation(
+            Opcode.CALL,
+            None,
+            [FunctionRef("mystery", INT)],
+            attrs={"callee": "mystery"},
+        ),
+    )
+    with pytest.raises(VerificationError, match="undefined function"):
+        verify_module(mod)
+
+
+def test_intrinsics_are_known():
+    mod = valid_module()
+    func = mod.function("main")
+    func.entry.insert(
+        0,
+        Operation(
+            Opcode.CALL,
+            None,
+            [FunctionRef("print_int", INT), Constant(1)],
+            attrs={"callee": "print_int"},
+        ),
+    )
+    verify_module(mod)
+
+
+def test_ret_with_two_values_rejected():
+    func = Function("f", [], INT)
+    block = func.add_block("entry")
+    block.append(Operation(Opcode.RET, srcs=[Constant(0), Constant(1)]))
+    with pytest.raises(VerificationError, match="at most one value"):
+        verify_function(func)
+
+
+def test_error_collects_multiple_problems():
+    func = Function("f", [], INT)
+    block = func.add_block("entry")
+    block.append(Operation(Opcode.ADD, func.new_vreg(INT), [Constant(1)]))
+    with pytest.raises(VerificationError) as exc:
+        verify_function(func)
+    assert len(exc.value.errors) >= 2  # arity + missing terminator

@@ -1,0 +1,214 @@
+"""Unit tests for the MiniC parser."""
+
+import pytest
+
+from repro.lang import ast
+from repro.lang.errors import ParseError
+from repro.lang.parser import parse
+
+
+def parse_expr(text):
+    prog = parse(f"int main() {{ return {text}; }}")
+    ret = prog.functions[0].body.stmts[0]
+    assert isinstance(ret, ast.Return)
+    return ret.value
+
+
+def parse_stmts(text):
+    prog = parse(f"int main() {{ {text} }}")
+    return prog.functions[0].body.stmts
+
+
+class TestExpressions:
+    def test_precedence_mul_over_add(self):
+        e = parse_expr("1 + 2 * 3")
+        assert isinstance(e, ast.Binary) and e.op == "+"
+        assert isinstance(e.rhs, ast.Binary) and e.rhs.op == "*"
+
+    def test_precedence_shift_vs_compare(self):
+        e = parse_expr("a << 2 < b")
+        assert e.op == "<"
+        assert isinstance(e.lhs, ast.Binary) and e.lhs.op == "<<"
+
+    def test_precedence_bitwise_chain(self):
+        e = parse_expr("a | b ^ c & d")
+        assert e.op == "|"
+        assert e.rhs.op == "^"
+        assert e.rhs.rhs.op == "&"
+
+    def test_logical_lowest(self):
+        e = parse_expr("a == 1 && b == 2 || c")
+        assert e.op == "||"
+        assert e.lhs.op == "&&"
+
+    def test_left_associativity(self):
+        e = parse_expr("a - b - c")
+        assert e.op == "-" and e.lhs.op == "-"
+
+    def test_parentheses(self):
+        e = parse_expr("(1 + 2) * 3")
+        assert e.op == "*" and e.lhs.op == "+"
+
+    def test_unary_chain(self):
+        e = parse_expr("-~!x")
+        assert e.op == "-" and e.operand.op == "~" and e.operand.operand.op == "!"
+
+    def test_deref_and_addressof(self):
+        e = parse_expr("*p + &x")
+        assert e.lhs.op == "*" and e.rhs.op == "&"
+
+    def test_index_chains(self):
+        e = parse_expr("a[i + 1]")
+        assert isinstance(e, ast.Index)
+        assert isinstance(e.index, ast.Binary)
+
+    def test_field_access(self):
+        dot = parse_expr("s.x")
+        assert isinstance(dot, ast.Field) and not dot.arrow
+        arrow = parse_expr("p->x")
+        assert isinstance(arrow, ast.Field) and arrow.arrow
+
+    def test_call_with_args(self):
+        e = parse_expr("f(1, g(2), x)")
+        assert isinstance(e, ast.Call) and len(e.args) == 3
+        assert isinstance(e.args[1], ast.Call)
+
+    def test_malloc_and_sizeof(self):
+        e = parse_expr("malloc(4 * sizeof(int))")
+        assert isinstance(e, ast.Malloc)
+        assert isinstance(e.size.rhs, ast.SizeOf)
+
+    def test_cast(self):
+        e = parse_expr("(float)x")
+        assert isinstance(e, ast.Cast)
+        assert e.type_spec.base == "float"
+
+    def test_cast_vs_parenthesized_expr(self):
+        e = parse_expr("(x)")
+        assert isinstance(e, ast.Ident)
+
+    def test_ternary_right_assoc(self):
+        e = parse_expr("a ? 1 : b ? 2 : 3")
+        assert isinstance(e, ast.Ternary)
+        assert isinstance(e.if_false, ast.Ternary)
+
+    def test_assignment_expression(self):
+        stmts = parse_stmts("int a; a = 1;")
+        assert isinstance(stmts[1].expr, ast.Assign)
+
+    def test_assignment_right_assoc(self):
+        stmts = parse_stmts("int a; int b; a = b = 1;")
+        inner = stmts[2].expr
+        assert isinstance(inner.value, ast.Assign)
+
+
+class TestStatements:
+    def test_if_else(self):
+        (s,) = parse_stmts("if (x) { return 1; } else { return 2; }")
+        assert isinstance(s, ast.If) and s.orelse is not None
+
+    def test_dangling_else(self):
+        (s,) = parse_stmts("if (a) if (b) return 1; else return 2;")
+        assert s.orelse is None
+        assert s.then.orelse is not None
+
+    def test_while(self):
+        (s,) = parse_stmts("while (x) { x = x - 1; }")
+        assert isinstance(s, ast.While)
+
+    def test_do_while(self):
+        (s,) = parse_stmts("do { x = 1; } while (x < 10);")
+        assert isinstance(s, ast.DoWhile)
+
+    def test_for_full(self):
+        (s,) = parse_stmts("for (int i = 0; i < 10; i = i + 1) { }")
+        assert isinstance(s, ast.For)
+        assert isinstance(s.init, ast.VarDecl)
+
+    def test_for_empty_clauses(self):
+        (s,) = parse_stmts("for (;;) { break; }")
+        assert s.init is None and s.cond is None and s.step is None
+
+    def test_for_expr_init(self):
+        (a, s) = parse_stmts("int i; for (i = 0; ; ) { break; }")
+        assert isinstance(s.init, ast.ExprStmt)
+
+    def test_break_continue(self):
+        stmts = parse_stmts("while (1) { break; } while (1) { continue; }")
+        assert isinstance(stmts[0].body.stmts[0], ast.Break)
+        assert isinstance(stmts[1].body.stmts[0], ast.Continue)
+
+    def test_return_void(self):
+        prog = parse("void f() { return; }")
+        assert prog.functions[0].body.stmts[0].value is None
+
+    def test_nested_blocks(self):
+        (s,) = parse_stmts("{ { int x; } }")
+        assert isinstance(s, ast.Block)
+
+
+class TestTopLevel:
+    def test_global_scalar_with_init(self):
+        prog = parse("int x = -5;")
+        g = prog.globals[0]
+        assert g.name == "x" and g.init == -5 and g.array_size is None
+
+    def test_global_array_with_list(self):
+        prog = parse("int tab[4] = {1, -2, 3, 4};")
+        g = prog.globals[0]
+        assert g.array_size == 4 and g.init == [1, -2, 3, 4]
+
+    def test_global_float(self):
+        prog = parse("float f = 2.5;")
+        assert prog.globals[0].init == 2.5
+
+    def test_global_pointer(self):
+        prog = parse("int *p;")
+        assert prog.globals[0].type_spec.pointer_depth == 1
+
+    def test_struct_declaration(self):
+        prog = parse("struct P { int x; float y; };")
+        s = prog.structs[0]
+        assert s.name == "P" and len(s.fields) == 2
+
+    def test_struct_global(self):
+        prog = parse("struct P { int x; }; struct P g;")
+        g = prog.globals[0]
+        assert g.type_spec.base == ("struct", "P")
+
+    def test_function_params(self):
+        prog = parse("int f(int a, float *b, int c[]) { return a; }")
+        f = prog.functions[0]
+        assert [p.name for p in f.params] == ["a", "b", "c"]
+        assert f.params[2].type_spec.pointer_depth == 1  # array decays
+
+    def test_void_param_list(self):
+        prog = parse("int f(void) { return 0; }")
+        assert prog.functions[0].params == []
+
+    def test_array_size_must_be_literal(self):
+        with pytest.raises(ParseError):
+            parse("int x[n];")
+
+
+class TestErrors:
+    def test_missing_semicolon(self):
+        with pytest.raises(ParseError):
+            parse("int main() { return 1 }")
+
+    def test_unbalanced_paren(self):
+        with pytest.raises(ParseError):
+            parse("int main() { return (1; }")
+
+    def test_unexpected_token(self):
+        with pytest.raises(ParseError):
+            parse("int main() { return +; }")
+
+    def test_missing_while_after_do(self):
+        with pytest.raises(ParseError, match="while"):
+            parse("int main() { do { } if (1); }")
+
+    def test_error_has_location(self):
+        with pytest.raises(ParseError) as exc:
+            parse("int main() {\n  return ;;\n}")
+        assert exc.value.loc is not None

@@ -1,0 +1,170 @@
+"""Round-trip tests for the exact IR serializer."""
+
+import pytest
+
+from repro.analysis import annotate_memory_ops
+from repro.bench import get
+from repro.ir import verify_module
+from repro.ir.serialize import SerializeError, dumps, loads
+from repro.lang import compile_source
+from repro.profiler import Interpreter
+
+
+def roundtrip(module):
+    return loads(dumps(module))
+
+
+def _canon(value):
+    """Canonical identity of an operand (register names are cosmetic and
+    intentionally not serialized)."""
+    from repro.ir import Constant, FunctionRef, GlobalAddress, VirtualRegister
+
+    if isinstance(value, VirtualRegister):
+        return ("r", value.vid)
+    if isinstance(value, Constant):
+        return ("c", value.value, str(value.ty))
+    if isinstance(value, GlobalAddress):
+        return ("g", value.symbol)
+    if isinstance(value, FunctionRef):
+        return ("f", value.symbol)
+    return ("?", str(value))
+
+
+def modules_equal(a, b) -> bool:
+    if set(a.globals) != set(b.globals):
+        return False
+    for name in a.globals:
+        ga, gb = a.globals[name], b.globals[name]
+        if str(ga.ty) != str(gb.ty) or ga.initializer != gb.initializer:
+            return False
+    if set(a.functions) != set(b.functions):
+        return False
+    for fname in a.functions:
+        fa, fb = a.function(fname), b.function(fname)
+        if [p.vid for p in fa.params] != [p.vid for p in fb.params]:
+            return False
+        if list(fa.blocks) != list(fb.blocks):
+            return False
+        for bname in fa.blocks:
+            ba, bb = fa.block(bname), fb.block(bname)
+            if len(ba) != len(bb):
+                return False
+            for oa, ob in zip(ba.ops, bb.ops):
+                if oa.opcode is not ob.opcode:
+                    return False
+                if (oa.dest is None) != (ob.dest is None):
+                    return False
+                if oa.dest is not None and oa.dest.vid != ob.dest.vid:
+                    return False
+                if [_canon(s) for s in oa.srcs] != [_canon(s) for s in ob.srcs]:
+                    return False
+                if oa.targets != ob.targets:
+                    return False
+                for key in ("site", "callee", "from", "to", "mem_objects"):
+                    if oa.attrs.get(key) != ob.attrs.get(key):
+                        return False
+    return True
+
+
+SMALL = """
+int N = 4;
+int table[4] = {1, -2, 3, 4};
+float scale = 2.5;
+struct Pt { int x; float w; };
+struct Pt origin;
+
+int helper(int a, int *p) { return a + p[0]; }
+
+int main() {
+  int *h = malloc(N * sizeof(int));
+  h[0] = 7;
+  origin.x = 3;
+  origin.w = 1.5;
+  int s = helper(2, h) + table[1] + origin.x;
+  print_int(s);
+  return s;
+}
+"""
+
+
+class TestRoundTrip:
+    def test_small_module_structure(self):
+        module = compile_source(SMALL, "small")
+        assert modules_equal(module, roundtrip(module))
+
+    def test_roundtrip_verifies(self):
+        module = compile_source(SMALL, "small")
+        verify_module(roundtrip(module))
+
+    def test_roundtrip_executes_identically(self):
+        module = compile_source(SMALL, "small")
+        base = Interpreter(module)
+        base.run()
+        redone = Interpreter(roundtrip(module))
+        redone.run()
+        assert redone.profile.output == base.profile.output
+
+    def test_annotations_survive(self):
+        module = compile_source(SMALL, "small")
+        annotate_memory_ops(module)
+        again = roundtrip(module)
+        originals = [
+            op.mem_objects()
+            for f in module for op in f.operations() if op.is_memory_access()
+        ]
+        restored = [
+            op.mem_objects()
+            for f in again for op in f.operations() if op.is_memory_access()
+        ]
+        assert originals == restored
+
+    def test_double_roundtrip_stable(self):
+        module = compile_source(SMALL, "small")
+        once = dumps(roundtrip(module))
+        assert once == dumps(loads(once))
+
+    @pytest.mark.parametrize("name", ["rawcaudio", "fsed", "viterbi"])
+    def test_benchmark_roundtrips(self, name):
+        module = compile_source(get(name).source, name, unroll_factor=4,
+                                if_convert=True)
+        again = roundtrip(module)
+        assert modules_equal(module, again)
+        a, b = Interpreter(module), Interpreter(again)
+        a.run(), b.run()
+        assert a.profile.output == b.profile.output
+
+    def test_fresh_registers_work_after_load(self):
+        module = roundtrip(compile_source(SMALL, "small"))
+        func = module.function("main")
+        existing = {
+            op.dest.vid for f in module for op in f.operations() if op.dest
+        }
+        from repro.ir.types import INT
+
+        assert func.new_vreg(INT).vid not in existing
+
+
+class TestErrors:
+    def test_missing_header(self):
+        with pytest.raises(SerializeError, match="module header"):
+            loads("func @f() -> i32 {\n}")
+
+    def test_unknown_mnemonic(self):
+        text = 'module "m"\nfunc @f() -> i32 {\nblock entry:\n  frobnicate 1\n}\n'
+        with pytest.raises(SerializeError):
+            loads(text)
+
+    def test_unknown_struct_reference(self):
+        text = 'module "m"\nglobal @g : struct.Nope\n'
+        with pytest.raises(SerializeError, match="unknown struct"):
+            loads(text)
+
+    def test_op_outside_block(self):
+        text = 'module "m"\nfunc @f() -> i32 {\n  ret 0\n}\n'
+        with pytest.raises(SerializeError, match="outside block"):
+            loads(text)
+
+    def test_bad_type(self):
+        text = 'module "m"\nglobal @g : i37\n'
+        with pytest.raises(SerializeError, match="cannot parse type"):
+            loads(text)
