@@ -1,0 +1,75 @@
+#!/usr/bin/env bash
+# Static-analysis smoke test:
+#   1. ruff + mypy over the tree (strict on src/repro/lint/, lenient
+#      elsewhere — see pyproject.toml); both are skipped with a notice
+#      when the tool is not installed.
+#   2. `repro lint` over every example program and every bundled
+#      benchmark: all must report ZERO errors (warnings are allowed).
+#
+# Usage: scripts/check.sh   (from the repository root)
+set -u
+
+ROOT="$(cd "$(dirname "$0")/.." && pwd)"
+cd "$ROOT"
+export PYTHONPATH="$ROOT/src${PYTHONPATH:+:$PYTHONPATH}"
+
+failures=0
+
+note() { printf '== %s\n' "$*"; }
+
+# -- 1. optional tool gates ---------------------------------------------------
+
+if command -v ruff >/dev/null 2>&1; then
+    note "ruff check"
+    ruff check src tests benchmarks examples || failures=$((failures + 1))
+else
+    note "ruff not installed - skipping (config lives in pyproject.toml)"
+fi
+
+if command -v mypy >/dev/null 2>&1; then
+    note "mypy (strict on repro.lint)"
+    mypy || failures=$((failures + 1))
+else
+    note "mypy not installed - skipping (config lives in pyproject.toml)"
+fi
+
+# -- 2. lint every example program -------------------------------------------
+
+note "repro lint over examples/ SOURCE programs"
+for example in examples/*.py; do
+    if grep -q '^SOURCE = """' "$example"; then
+        if python -m repro lint "$example"; then
+            note "ok: $example"
+        else
+            note "FAIL: $example"
+            failures=$((failures + 1))
+        fi
+    fi
+done
+
+# -- 3. lint every bundled benchmark (zero errors required) -------------------
+
+note "repro lint over the bundled benchmark suite"
+python - <<'PY' || failures=$((failures + 1))
+import sys
+
+from repro.bench import all_benchmarks
+from repro.lang import compile_source
+from repro.lint import lint_module
+
+bad = 0
+for bench in all_benchmarks():
+    report = lint_module(compile_source(bench.source, bench.name))
+    status = "FAIL" if report.has_errors else "ok"
+    print(f"{status}: bench {bench.name}: {report.summary()}")
+    if report.has_errors:
+        print(report.render_text())
+        bad += 1
+sys.exit(1 if bad else 0)
+PY
+
+if [ "$failures" -ne 0 ]; then
+    note "$failures check group(s) failed"
+    exit 1
+fi
+note "all checks passed"

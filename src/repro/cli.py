@@ -7,11 +7,13 @@ run        compile + interpret a MiniC program, print its output
 partition  run one partitioning scheme, print placement and cycles
 compare    run all four Table-1 schemes, print the comparison table
 bench      list or evaluate the bundled benchmark suite
+lint       static analysis: IR lint rules + partition validity checking
 """
 
 from __future__ import annotations
 
 import argparse
+import re
 import sys
 from typing import List, Optional
 
@@ -29,7 +31,17 @@ def _read_source(path: str) -> str:
     if path == "-":
         return sys.stdin.read()
     with open(path) as handle:
-        return handle.read()
+        text = handle.read()
+    if path.endswith(".py"):
+        # Example scripts (examples/*.py) embed their program in a
+        # module-level SOURCE triple-quoted string; lint them directly.
+        match = re.search(r'SOURCE\s*=\s*"""(.*?)"""', text, re.DOTALL)
+        if match is None:
+            raise SystemExit(
+                f"{path}: no MiniC SOURCE = \"\"\"...\"\"\" block found"
+            )
+        return match.group(1)
+    return text
 
 
 def _add_compile_flags(parser: argparse.ArgumentParser) -> None:
@@ -87,8 +99,15 @@ def _prepared_from_args(args) -> PreparedProgram:
 
 def _partition(args) -> int:
     prepared = _prepared_from_args(args)
-    pipe = Pipeline(two_cluster_machine(move_latency=args.latency))
-    outcome = pipe.run(prepared, args.scheme)
+    pipe = Pipeline(
+        two_cluster_machine(move_latency=args.latency),
+        validate=getattr(args, "verify_partition", False),
+    )
+    try:
+        outcome = pipe.run(prepared, args.scheme)
+    except _partition_validity_error() as exc:
+        print(exc)
+        return 1
     print(f"scheme:  {args.scheme}")
     print(f"cycles:  {outcome.cycles:.0f}")
     print(f"dynamic intercluster moves: {outcome.dynamic_moves:.0f}")
@@ -100,10 +119,23 @@ def _partition(args) -> int:
     return 0
 
 
+def _partition_validity_error():
+    from .lint import PartitionValidityError
+
+    return PartitionValidityError
+
+
 def _compare(args) -> int:
     prepared = _prepared_from_args(args)
-    pipe = Pipeline(two_cluster_machine(move_latency=args.latency))
-    outcomes = pipe.run_all(prepared)
+    pipe = Pipeline(
+        two_cluster_machine(move_latency=args.latency),
+        validate=getattr(args, "verify_partition", False),
+    )
+    try:
+        outcomes = pipe.run_all(prepared)
+    except _partition_validity_error() as exc:
+        print(exc)
+        return 1
     base = outcomes["unified"].cycles
     rows = []
     for name in ("unified", "gdp", "profilemax", "naive"):
@@ -114,6 +146,55 @@ def _compare(args) -> int:
             f"{out.dynamic_moves:.0f}",
         ])
     print(format_table(["scheme", "cycles", "vs unified", "dyn moves"], rows))
+    return 0
+
+
+def _resolve_lint_path(path: str) -> str:
+    """Allow ``repro lint examples/quickstart`` without an extension."""
+    import os
+
+    if path == "-" or os.path.exists(path):
+        return path
+    for suffix in (".py", ".mc", ".minic"):
+        if os.path.exists(path + suffix):
+            return path + suffix
+    return path  # let open() raise the usual error
+
+
+def _lint(args) -> int:
+    from .lint import Severity, check_scheme_outcome, lint_module
+
+    module = compile_source(
+        _read_source(_resolve_lint_path(args.file)), args.name,
+        unroll_factor=args.unroll, if_convert=args.if_convert,
+    )
+    if args.optimize:
+        from .opt import optimize_module
+
+        optimize_module(module)
+
+    machine = two_cluster_machine(move_latency=args.latency)
+    try:
+        report = lint_module(module, machine=machine, only=args.only or None)
+    except ValueError as exc:  # unknown pass name in --only
+        print(exc, file=sys.stderr)
+        return 2
+
+    if args.verify_partition:
+        prepared = PreparedProgram.from_source(
+            _read_source(_resolve_lint_path(args.file)), args.name
+        )
+        pipe = Pipeline(machine)
+        outcome = pipe.run(prepared, args.scheme)
+        report.extend(check_scheme_outcome(prepared, outcome))
+
+    print(report.to_json() if args.json else report.render_text())
+    if report.has_errors:
+        return 1
+    if args.strict and any(
+        d.severity is Severity.WARNING for d in report
+    ):
+        return 1
     return 0
 
 
@@ -164,12 +245,17 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--name", default="program")
     p.add_argument("--scheme", default="gdp",
                    choices=["gdp", "profilemax", "naive", "unified"])
+    p.add_argument("--verify-partition", action="store_true",
+                   help="check every phase output against the paper's "
+                   "invariants (fails on any violation)")
     _add_machine_flags(p)
     p.set_defaults(func=_partition)
 
     p = sub.add_parser("compare", help="compare all four schemes")
     p.add_argument("file")
     p.add_argument("--name", default="program")
+    p.add_argument("--verify-partition", action="store_true",
+                   help="validate each scheme's phase outputs while running")
     _add_machine_flags(p)
     p.set_defaults(func=_compare)
 
@@ -177,6 +263,30 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("name", nargs="?", default=None)
     _add_machine_flags(p)
     p.set_defaults(func=_bench)
+
+    p = sub.add_parser(
+        "lint",
+        help="run static analysis (IR lint rules, optional partition "
+        "validity checks)",
+    )
+    p.add_argument("file", help="MiniC source, '-' for stdin, or an "
+                   "examples/*.py script with a SOURCE block")
+    p.add_argument("--name", default="program")
+    p.add_argument("--json", action="store_true",
+                   help="machine-readable report (stable ordering)")
+    p.add_argument("--strict", action="store_true",
+                   help="exit non-zero on warnings too, not just errors")
+    p.add_argument("--only", action="append", metavar="PASS",
+                   help="run only the named lint pass (repeatable)")
+    p.add_argument("--verify-partition", action="store_true",
+                   help="also run a scheme and check the partition "
+                   "validity invariants on its output")
+    p.add_argument("--scheme", default="gdp",
+                   choices=["gdp", "profilemax", "naive", "unified"],
+                   help="scheme for --verify-partition (default gdp)")
+    _add_compile_flags(p)
+    _add_machine_flags(p)
+    p.set_defaults(func=_lint)
 
     return parser
 

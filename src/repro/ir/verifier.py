@@ -8,20 +8,36 @@ The verifier enforces the invariants every pass may rely on:
 * every register read is either a parameter or defined by some operation
   in the function (the IR is not SSA, so no dominance requirement);
 * operand and destination arity match the opcode;
-* calls name functions or known externals; global references resolve.
+* calls name functions or known externals, pass the right number of
+  arguments, and only capture a result when the callee returns one;
+* global references resolve.
+
+:func:`module_errors` / :func:`function_errors` return findings as plain
+strings (the :mod:`repro.lint` framework wraps them in diagnostics);
+:func:`verify_module` / :func:`verify_function` raise on the first report.
 """
 
 from __future__ import annotations
 
-from typing import List, Set
+from typing import List, Optional, Set
 
 from .function import Function
 from .module import Module
 from .ops import Opcode, Operation
+from .types import VoidType
 from .values import GlobalAddress, VirtualRegister
 
 #: Call targets that need not be defined in the module (modelled intrinsics).
 KNOWN_EXTERNALS = {"print_int", "print_float", "abort"}
+
+#: Argument count and whether each modelled intrinsic produces a result.
+_EXTERNAL_ARITY = {
+    "print_int": (1, False),
+    "print_float": (1, False),
+    "abort": (0, False),
+}
+
+assert set(_EXTERNAL_ARITY) == KNOWN_EXTERNALS
 
 #: Opcode arity table: (num_srcs, has_dest, num_targets); None = variable.
 _ARITY = {
@@ -78,36 +94,76 @@ class VerificationError(Exception):
         super().__init__("\n".join(errors))
 
 
-def verify_module(module: Module) -> None:
-    """Verify the whole module; raise :class:`VerificationError` on failure."""
+def module_errors(module: Module) -> List[str]:
+    """All structural findings for ``module`` as ``func/block: text`` strings."""
     errors: List[str] = []
     for func in module:
         errors.extend(_check_function(module, func))
     for func in module:
-        for op in func.operations():
-            for src in op.srcs:
-                if isinstance(src, GlobalAddress) and src.symbol not in module.globals:
-                    errors.append(
-                        f"{func.name}: reference to undefined global @{src.symbol}"
-                    )
-            if op.is_call():
-                callee = op.attrs.get("callee")
-                if (
-                    callee not in module.functions
-                    and callee not in KNOWN_EXTERNALS
-                ):
-                    errors.append(
-                        f"{func.name}: call to undefined function @{callee}"
-                    )
+        for block in func:
+            for op in block.ops:
+                where = f"{func.name}/{block.name}"
+                for src in op.srcs:
+                    if (
+                        isinstance(src, GlobalAddress)
+                        and src.symbol not in module.globals
+                    ):
+                        errors.append(
+                            f"{where}: reference to undefined global @{src.symbol}"
+                        )
+                if op.is_call():
+                    errors.extend(_check_call_signature(module, where, op))
+    return errors
+
+
+def function_errors(func: Function) -> List[str]:
+    """Structural findings for one function (no cross-module checks)."""
+    return _check_function(None, func)
+
+
+def verify_module(module: Module) -> None:
+    """Verify the whole module; raise :class:`VerificationError` on failure."""
+    errors = module_errors(module)
     if errors:
         raise VerificationError(errors)
 
 
 def verify_function(func: Function) -> None:
     """Verify one function in isolation (no cross-module checks)."""
-    errors = _check_function(None, func)
+    errors = function_errors(func)
     if errors:
         raise VerificationError(errors)
+
+
+def _check_call_signature(module: Module, where: str, op: Operation) -> List[str]:
+    """Callee exists; argument count and result capture match its signature."""
+    errors: List[str] = []
+    callee = op.attrs.get("callee")
+    nargs = max(len(op.srcs) - 1, 0)  # srcs[0] is the FunctionRef
+
+    expected: Optional[int] = None
+    returns_value: Optional[bool] = None
+    if callee in module.functions:
+        target = module.functions[callee]
+        expected = len(target.params)
+        returns_value = not isinstance(target.return_type, VoidType)
+    elif callee in KNOWN_EXTERNALS:
+        expected, returns_value = _EXTERNAL_ARITY[callee]
+    else:
+        errors.append(f"{where}: call to undefined function @{callee}")
+        return errors
+
+    if nargs != expected:
+        errors.append(
+            f"{where}: call to @{callee} passes {nargs} argument(s), "
+            f"expected {expected}"
+        )
+    if op.dest is not None and not returns_value:
+        errors.append(
+            f"{where}: call to @{callee} captures a result, but the "
+            "callee returns void"
+        )
+    return errors
 
 
 def _check_function(module, func: Function) -> List[str]:

@@ -1,0 +1,58 @@
+"""Pluggable static-analysis layer: IR lint passes, structural-verifier
+bridge, and the cross-phase partition/schedule validity checker.
+
+Programmatic API::
+
+    from repro.lint import lint_module, check_scheme_outcome
+
+    report = lint_module(module)          # IR-level rules
+    if report.has_errors:
+        print(report.render_text())
+
+CLI: ``repro lint program.mc`` / ``repro partition --verify-partition``.
+"""
+
+from .diagnostics import (
+    Diagnostic,
+    DiagnosticReport,
+    PartitionValidityError,
+    Severity,
+)
+from .runner import (
+    PASS_REGISTRY,
+    LintContext,
+    LintPass,
+    LintRunner,
+    default_passes,
+    lint_module,
+    register_pass,
+)
+from . import irlint  # noqa: F401  (imports register the default passes)
+from .partcheck import (
+    check_data_partition,
+    check_memory_locks,
+    check_moves,
+    check_schedule,
+    check_scheme_outcome,
+    diagnose_lock_violations,
+)
+
+__all__ = [
+    "Diagnostic",
+    "DiagnosticReport",
+    "PartitionValidityError",
+    "Severity",
+    "LintContext",
+    "LintPass",
+    "LintRunner",
+    "PASS_REGISTRY",
+    "default_passes",
+    "lint_module",
+    "register_pass",
+    "check_data_partition",
+    "check_memory_locks",
+    "check_moves",
+    "check_schedule",
+    "check_scheme_outcome",
+    "diagnose_lock_violations",
+]

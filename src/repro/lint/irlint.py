@@ -1,0 +1,300 @@
+"""IR-level lint passes built on the existing dataflow analyses.
+
+Rules
+-----
+``ir-verify``            structural verifier findings surfaced as diagnostics
+``unreachable-block``    blocks no path from the entry reaches (CFG/dominators)
+``dead-store``           a definition overwritten before any use (def-use)
+``never-read-def``       a register defined but never read anywhere
+``uninitialized-read``   a use no definition reaches on any path (error)
+``maybe-uninitialized``  a use some path reaches without a definition
+``unused-global``        a module global no operation ever references
+``pointsto-unknown``     a memory access whose target set is empty
+``pointsto-imprecise``   a memory access that may touch every data object
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Optional, Set
+
+from ..ir import Function, GlobalAddress, Opcode, Operation
+from ..ir.verifier import module_errors
+from .diagnostics import Diagnostic, Severity
+from .runner import LintContext, LintPass, register_pass
+
+
+def _diag(
+    severity: Severity,
+    rule: str,
+    message: str,
+    func: Optional[str] = None,
+    block: Optional[str] = None,
+    op: Optional[Operation] = None,
+    hint: Optional[str] = None,
+) -> Diagnostic:
+    return Diagnostic(
+        severity, rule, message,
+        func=func, block=block,
+        op=str(op) if op is not None else None,
+        hint=hint,
+    )
+
+
+@register_pass
+class VerifierPass(LintPass):
+    """Bridge the structural IR verifier into the diagnostics framework."""
+
+    name = "verify"
+    description = "structural IR invariants (arity, terminators, symbols)"
+
+    def run(self, ctx: LintContext) -> Iterator[Diagnostic]:
+        for message in module_errors(ctx.module):
+            func, block, text = _split_location(message)
+            yield _diag(
+                Severity.ERROR, "ir-verify", text, func=func, block=block,
+                hint="fix the IR producer; this module cannot be partitioned",
+            )
+
+
+def _split_location(message: str) -> "tuple[Optional[str], Optional[str], str]":
+    """Verifier messages look like ``func/block: text`` or ``func: text``."""
+    head, sep, tail = message.partition(": ")
+    if not sep or " " in head:
+        return None, None, message
+    func, slash, block = head.partition("/")
+    return func, (block if slash else None), tail
+
+
+@register_pass
+class UnreachableBlockPass(LintPass):
+    """Blocks the entry cannot reach (CFG traversal + dominator tree)."""
+
+    name = "unreachable"
+    description = "blocks with no path from the function entry"
+
+    def run(self, ctx: LintContext) -> Iterator[Diagnostic]:
+        for func in ctx.module:
+            if not func.blocks:
+                continue
+            reachable = ctx.cfg(func).reachable()
+            # The dominator tree is computed over exactly the reachable
+            # blocks; agreement between the two is itself an invariant.
+            dominated = set(ctx.dominators(func).idom)
+            for name in func.blocks:
+                if name not in reachable or name not in dominated:
+                    yield _diag(
+                        Severity.WARNING, "unreachable-block",
+                        "block is unreachable from the entry",
+                        func=func.name, block=name,
+                        hint="remove it or reconnect it; unreachable code "
+                        "skews the static frequency estimates",
+                    )
+
+
+@register_pass
+class DeadCodePass(LintPass):
+    """Definitions that are never consumed (reaching-defs + liveness)."""
+
+    name = "dead-code"
+    description = "dead stores and never-read register definitions"
+
+    #: Opcodes whose definition may be intentionally unused (side effects).
+    _SIDE_EFFECTS = {Opcode.CALL}
+
+    def run(self, ctx: LintContext) -> Iterator[Diagnostic]:
+        for func in ctx.module:
+            if not func.blocks:
+                continue
+            defuse = ctx.defuse(func)
+            liveness = ctx.liveness(func)
+            read_vids: Set[int] = set()
+            for op in func.operations():
+                for src in op.register_srcs():
+                    read_vids.add(src.vid)
+            for block in func:
+                for op in block.ops:
+                    if op.dest is None or op.opcode in self._SIDE_EFFECTS:
+                        continue
+                    if defuse.uses_of.get(op.uid):
+                        continue
+                    vid = op.dest.vid
+                    if vid not in read_vids:
+                        yield _diag(
+                            Severity.WARNING, "never-read-def",
+                            f"register {op.dest} is defined but never read",
+                            func=func.name, block=block.name, op=op,
+                            hint="delete the operation (dead code)",
+                        )
+                    elif not liveness.live_across(vid) or _killed_locally(
+                        block, op, vid
+                    ):
+                        yield _diag(
+                            Severity.WARNING, "dead-store",
+                            f"definition of {op.dest} is overwritten "
+                            "before any use",
+                            func=func.name, block=block.name, op=op,
+                            hint="delete the operation or reorder the defs",
+                        )
+
+
+def _killed_locally(block: object, op: Operation, vid: int) -> bool:
+    """True when a later op in the same block redefines ``vid``."""
+    seen = False
+    for other in getattr(block, "ops", []):
+        if other is op:
+            seen = True
+            continue
+        if seen and other.dest is not None and other.dest.vid == vid:
+            return True
+    return False
+
+
+@register_pass
+class UninitializedReadPass(LintPass):
+    """Reads of registers with no (or only partial) reaching definitions.
+
+    A read that *no* definition reaches on any path is an error — the
+    interpreter and every estimator would consume garbage.  A read that
+    some path reaches without a definition (must-reach analysis) is a
+    warning; the frontend zero-fills locals so these are usually latent
+    bugs rather than miscompiles.
+    """
+
+    name = "uninit"
+    description = "uninitialized / maybe-uninitialized register reads"
+
+    def run(self, ctx: LintContext) -> Iterator[Diagnostic]:
+        for func in ctx.module:
+            if not func.blocks:
+                continue
+            defuse = ctx.defuse(func)
+            must_in = _must_defined_in(func, ctx)
+            reachable = ctx.cfg(func).reachable()
+            for block in func:
+                if block.name not in reachable:
+                    continue
+                current = set(must_in[block.name])
+                for op in block.ops:
+                    for src in op.register_srcs():
+                        reaching = defuse.defs_for.get((op.uid, src.vid), [])
+                        if not reaching:
+                            yield _diag(
+                                Severity.ERROR, "uninitialized-read",
+                                f"read of {src} which no definition reaches",
+                                func=func.name, block=block.name, op=op,
+                                hint="define the register on every path "
+                                "before this use",
+                            )
+                        elif src.vid not in current:
+                            yield _diag(
+                                Severity.WARNING, "maybe-uninitialized",
+                                f"read of {src} which some path reaches "
+                                "without a definition",
+                                func=func.name, block=block.name, op=op,
+                                hint="initialise the register on the "
+                                "missing path(s)",
+                            )
+                    if op.dest is not None:
+                        current.add(op.dest.vid)
+
+
+def _must_defined_in(func: Function, ctx: LintContext) -> Dict[str, Set[int]]:
+    """Forward must-reach solve: registers defined on *every* path into
+    each block (parameters count as defined at entry)."""
+    cfg = ctx.cfg(func)
+    all_vids: Set[int] = {p.vid for p in func.params}
+    block_defs: Dict[str, Set[int]] = {}
+    for block in func:
+        defs = {op.dest.vid for op in block.ops if op.dest is not None}
+        block_defs[block.name] = defs
+        all_vids |= defs
+
+    entry = cfg.entry
+    params = {p.vid for p in func.params}
+    must_in: Dict[str, Set[int]] = {
+        name: (set(params) if name == entry else set(all_vids))
+        for name in func.blocks
+    }
+    order = cfg.reverse_postorder()
+    changed = True
+    while changed:
+        changed = False
+        for name in order:
+            if name == entry:
+                continue
+            preds = cfg.predecessors(name)
+            if not preds:
+                continue
+            new_in = set(all_vids)
+            for pred in preds:
+                new_in &= must_in[pred] | block_defs[pred]
+            if new_in != must_in[name]:
+                must_in[name] = new_in
+                changed = True
+    return must_in
+
+
+@register_pass
+class UnusedGlobalPass(LintPass):
+    """Module globals no operation ever takes the address of."""
+
+    name = "globals"
+    description = "globals never referenced by any operation"
+
+    def run(self, ctx: LintContext) -> Iterator[Diagnostic]:
+        referenced: Set[str] = set()
+        for func in ctx.module:
+            for op in func.operations():
+                for src in op.srcs:
+                    if isinstance(src, GlobalAddress):
+                        referenced.add(src.symbol)
+        for name in ctx.module.globals:
+            if name not in referenced:
+                yield Diagnostic(
+                    Severity.WARNING, "unused-global",
+                    f"global @{name} is never referenced",
+                    hint="drop it; unused globals still consume scratchpad "
+                    "bytes in the data-partition balance",
+                )
+
+
+@register_pass
+class PointsToPrecisionPass(LintPass):
+    """Points-to precision warnings on memory accesses.
+
+    An empty target set means the analysis lost the address entirely; a
+    target set equal to the whole object table means the access-pattern
+    merge will collapse every object into one unpartitionable group.
+    """
+
+    name = "pointsto"
+    description = "empty or may-touch-everything memory target sets"
+
+    def run(self, ctx: LintContext) -> Iterator[Diagnostic]:
+        pts = ctx.pointsto()
+        table = ctx.objects()
+        total = len(table)
+        for func in ctx.module:
+            for block in func:
+                for op in block.ops:
+                    if not op.is_memory_access():
+                        continue
+                    objs = pts.objects_for_op(func.name, op)
+                    if not objs:
+                        yield _diag(
+                            Severity.WARNING, "pointsto-unknown",
+                            "memory access with an empty points-to set",
+                            func=func.name, block=block.name, op=op,
+                            hint="the address flows from outside the "
+                            "tracked pointer graph; partitioning treats "
+                            "this access as unlocked",
+                        )
+                    elif total >= 2 and len(objs) == total:
+                        yield _diag(
+                            Severity.WARNING, "pointsto-imprecise",
+                            f"memory access may touch all {total} data "
+                            "objects",
+                            func=func.name, block=block.name, op=op,
+                            hint="the access-pattern merge will fuse every "
+                            "object into one group, defeating GDP",
+                        )

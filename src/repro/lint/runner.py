@@ -1,0 +1,148 @@
+"""The lint driver: pass registry, shared analysis context, and runner.
+
+A lint pass is a small class with a ``name``, a ``description``, and a
+``run(ctx)`` generator yielding :class:`Diagnostic` values.  Passes share
+one :class:`LintContext` per module so the underlying analyses (CFG,
+def-use, liveness, points-to, object table) are computed at most once
+regardless of how many passes consume them.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Iterable, Iterator, List, Optional, Type
+
+from ..analysis.cfg import CFG
+from ..analysis.defuse import DefUse
+from ..analysis.dominators import DominatorTree
+from ..analysis.liveness import Liveness
+from ..analysis.objects import ObjectTable
+from ..analysis.pointsto import PointsTo
+from ..ir import Function, Module
+from ..machine import Machine
+from .diagnostics import Diagnostic, DiagnosticReport
+
+
+class LintContext:
+    """Per-module analysis cache handed to every lint pass."""
+
+    def __init__(self, module: Module, machine: Optional[Machine] = None):
+        self.module = module
+        self.machine = machine
+        self._cfg: Dict[str, CFG] = {}
+        self._dom: Dict[str, DominatorTree] = {}
+        self._defuse: Dict[str, DefUse] = {}
+        self._liveness: Dict[str, Liveness] = {}
+        self._pointsto: Optional[PointsTo] = None
+        self._objects: Optional[ObjectTable] = None
+
+    def cfg(self, func: Function) -> CFG:
+        if func.name not in self._cfg:
+            self._cfg[func.name] = CFG(func)
+        return self._cfg[func.name]
+
+    def dominators(self, func: Function) -> DominatorTree:
+        if func.name not in self._dom:
+            self._dom[func.name] = DominatorTree(self.cfg(func))
+        return self._dom[func.name]
+
+    def defuse(self, func: Function) -> DefUse:
+        if func.name not in self._defuse:
+            self._defuse[func.name] = DefUse(func, self.cfg(func))
+        return self._defuse[func.name]
+
+    def liveness(self, func: Function) -> Liveness:
+        if func.name not in self._liveness:
+            self._liveness[func.name] = Liveness(func, self.cfg(func))
+        return self._liveness[func.name]
+
+    def pointsto(self) -> PointsTo:
+        if self._pointsto is None:
+            self._pointsto = PointsTo(self.module)
+        return self._pointsto
+
+    def objects(self) -> ObjectTable:
+        if self._objects is None:
+            self._objects = ObjectTable(self.module)
+        return self._objects
+
+
+class LintPass:
+    """Base class for lint passes.  Subclasses set ``name`` (the rule-id
+    prefix shown in reports) and implement :meth:`run`."""
+
+    name: str = ""
+    description: str = ""
+
+    def run(self, ctx: LintContext) -> Iterator[Diagnostic]:
+        raise NotImplementedError
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<lint pass {self.name}>"
+
+
+#: All registered pass classes, keyed by pass name, in registration order.
+PASS_REGISTRY: Dict[str, Type[LintPass]] = {}
+
+
+def register_pass(cls: Type[LintPass]) -> Type[LintPass]:
+    """Class decorator adding a pass to the default registry."""
+    if not cls.name:
+        raise ValueError(f"lint pass {cls.__name__} needs a non-empty name")
+    if cls.name in PASS_REGISTRY:
+        raise ValueError(f"duplicate lint pass name {cls.name!r}")
+    PASS_REGISTRY[cls.name] = cls
+    return cls
+
+
+def default_passes() -> List[LintPass]:
+    """One instance of every registered pass, in registration order."""
+    return [cls() for cls in PASS_REGISTRY.values()]
+
+
+class LintRunner:
+    """Runs a configurable set of lint passes over a module.
+
+    >>> runner = LintRunner()                    # all registered passes
+    >>> runner = LintRunner(only=["dead-code"])  # a chosen subset
+    """
+
+    def __init__(
+        self,
+        passes: Optional[Iterable[LintPass]] = None,
+        only: Optional[Iterable[str]] = None,
+        machine: Optional[Machine] = None,
+    ):
+        if passes is not None:
+            self.passes = list(passes)
+        elif only is not None:
+            wanted = list(only)
+            unknown = [n for n in wanted if n not in PASS_REGISTRY]
+            if unknown:
+                raise ValueError(
+                    f"unknown lint pass(es) {unknown}; "
+                    f"available: {sorted(PASS_REGISTRY)}"
+                )
+            self.passes = [PASS_REGISTRY[n]() for n in wanted]
+        else:
+            self.passes = default_passes()
+        self.machine = machine
+
+    def register(self, lint_pass: LintPass) -> "LintRunner":
+        self.passes.append(lint_pass)
+        return self
+
+    def run(self, module: Module) -> DiagnosticReport:
+        ctx = LintContext(module, self.machine)
+        report = DiagnosticReport()
+        for lint_pass in self.passes:
+            report.diagnostics.extend(lint_pass.run(ctx))
+        return report
+
+
+def lint_module(
+    module: Module,
+    machine: Optional[Machine] = None,
+    only: Optional[Iterable[str]] = None,
+) -> DiagnosticReport:
+    """Run the default (or a named subset of) lint passes over ``module``."""
+    return LintRunner(only=only, machine=machine).run(module)

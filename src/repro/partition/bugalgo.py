@@ -19,7 +19,7 @@ from ..ir import Function, Module
 from ..machine import Machine
 from ..schedule.depgraph import DependenceGraph
 from .estimator import effective_move_latency
-from .rhop import RHOPResult
+from .rhop import RHOPResult, record_infeasible_locks
 
 
 class BUG:
@@ -31,7 +31,7 @@ class BUG:
     def partition_module(
         self, module: Module, mem_locks: Optional[Dict[int, int]] = None
     ) -> RHOPResult:
-        result = RHOPResult()
+        result = RHOPResult(phase="bug")
         for func in module:
             self.partition_function(func, result, mem_locks or {})
         return result
@@ -42,8 +42,11 @@ class BUG:
         result: Optional[RHOPResult] = None,
         mem_locks: Optional[Dict[int, int]] = None,
     ) -> RHOPResult:
-        result = result or RHOPResult()
+        result = result or RHOPResult(phase="bug")
         mem_locks = mem_locks or {}
+        # Same reporting path as RHOP: locks the machine cannot execute
+        # are recorded for the validity checker, never silently dropped.
+        record_infeasible_locks(self.machine, func, mem_locks, result)
         homes = result.homes_for(func.name)
         cfg = CFG(func)
         for name in cfg.reverse_postorder():
@@ -68,15 +71,18 @@ class BUG:
 
         for op in graph.ops:
             choices = range(k)
+            forced = False
             if op.uid in mem_locks:
                 choices = [mem_locks[op.uid]]
+                forced = True
             elif op.dest is not None and op.dest.vid in homes:
                 choices = [homes[op.dest.vid]]
+                forced = True
 
             best_cluster, best_cost = 0, None
             for c in choices:
                 cls = machine.fu_class_of(op)
-                if cls is not None and machine.units(c, cls) == 0:
+                if not forced and cls is not None and machine.units(c, cls) == 0:
                     continue
                 # Operand availability including a move penalty for values
                 # living on other clusters.
@@ -96,7 +102,11 @@ class BUG:
                         avail = max(avail, float(move_latency))
                 pressure = 0.0
                 if cls is not None:
-                    pressure = load.get((c, cls), 0.0) / machine.units(c, cls)
+                    # A forced choice may sit on a cluster with no unit of
+                    # the class (recorded as an infeasible lock above);
+                    # floor the divisor so the estimate stays finite.
+                    units = max(machine.units(c, cls), 1)
+                    pressure = load.get((c, cls), 0.0) / units
                 finish = max(avail, pressure) + machine.latency_of(op)
                 if best_cost is None or finish < best_cost:
                     best_cost = finish

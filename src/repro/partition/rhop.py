@@ -66,17 +66,45 @@ class RHOPConfig:
 
 
 class RHOPResult:
-    """Cluster assignment for every operation plus register homes."""
+    """Cluster assignment for every operation plus register homes.
 
-    def __init__(self):
+    ``phase`` names the computation partitioner that produced the result
+    (``"rhop"`` or ``"bug"``) and ``lock_violations`` records memory locks
+    the machine cannot actually honour as ``(func, op uid, cluster)``
+    tuples — both consumed by the partition validity checker so findings
+    are attributed to the phase that caused them.
+    """
+
+    def __init__(self, phase: str = "rhop"):
         self.assignment: Dict[int, int] = {}  # op uid -> cluster
         self.vreg_home: Dict[str, Dict[int, int]] = {}  # func -> vid -> cluster
+        self.phase = phase
+        self.lock_violations: List[Tuple[str, int, int]] = []
 
     def cluster_of(self, op: Operation) -> int:
         return self.assignment[op.uid]
 
     def homes_for(self, func_name: str) -> Dict[int, int]:
         return self.vreg_home.setdefault(func_name, {})
+
+
+def record_infeasible_locks(
+    machine: Machine,
+    func: Function,
+    mem_locks: Dict[int, int],
+    result: RHOPResult,
+) -> None:
+    """Record every lock that forces an operation onto a cluster with no
+    unit of its FU class.  Shared by RHOP and BUG — the one reporting path
+    the validity checker reads (:func:`repro.lint.diagnose_lock_violations`).
+    """
+    for op in func.operations():
+        cluster = mem_locks.get(op.uid)
+        if cluster is None:
+            continue
+        cls = machine.fu_class_of(op)
+        if cls is not None and machine.units(cluster, cls) == 0:
+            result.lock_violations.append((func.name, op.uid, cluster))
 
 
 class RHOP:
@@ -120,6 +148,7 @@ class RHOP:
     ) -> RHOPResult:
         result = result or RHOPResult()
         mem_locks = mem_locks or {}
+        record_infeasible_locks(self.machine, func, mem_locks, result)
         homes = result.homes_for(func.name)
         cfg = CFG(func)
         rng = random.Random(self.config.seed)

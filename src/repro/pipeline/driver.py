@@ -26,10 +26,15 @@ class Pipeline:
         machine: Optional[Machine] = None,
         gdp_config: Optional[GDPConfig] = None,
         rhop_config: Optional[RHOPConfig] = None,
+        validate: bool = False,
     ):
         self.machine = machine or two_cluster_machine()
         self.gdp_config = gdp_config
         self.rhop_config = rhop_config
+        #: When set, every phase output is checked against the paper's
+        #: invariants; :class:`repro.lint.PartitionValidityError` is raised
+        #: at the first violating phase.
+        self.validate = validate
 
     def prepare(self, source: str, name: str = "program") -> PreparedProgram:
         return PreparedProgram.from_source(source, name)
@@ -39,6 +44,7 @@ class Pipeline:
         prepared: PreparedProgram,
         scheme: str = "gdp",
         object_home: Optional[Dict[str, int]] = None,
+        validate: Optional[bool] = None,
     ) -> SchemeOutcome:
         return run_scheme(
             prepared,
@@ -47,6 +53,7 @@ class Pipeline:
             gdp_config=self.gdp_config,
             rhop_config=self.rhop_config,
             object_home=object_home,
+            validate=self.validate if validate is None else validate,
         )
 
     def run_all(

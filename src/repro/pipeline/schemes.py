@@ -24,6 +24,15 @@ from ..partition.assign import insert_intercluster_moves
 from ..partition.gdp import DataPartition, GDPConfig, gdp_partition
 from ..partition.locks import memory_locks
 from ..partition.rhop import RHOP, RHOPConfig, RHOPResult
+from ..lint import (
+    DiagnosticReport,
+    PartitionValidityError,
+    check_data_partition,
+    check_memory_locks,
+    check_moves,
+    check_schedule,
+    diagnose_lock_violations,
+)
 from .prepared import PreparedProgram
 
 #: Scheme descriptors used to regenerate Table 1.
@@ -104,21 +113,65 @@ def run_scheme(
     rhop_config: Optional[RHOPConfig] = None,
     object_home: Optional[Dict[str, int]] = None,
     pmax_imbalance: float = 1.15,
+    validate: bool = False,
 ) -> SchemeOutcome:
     """Run one named scheme end to end.
 
     ``object_home`` overrides the object placement (used by the exhaustive
     search of Figure 9 with the "gdp" second-pass machinery).
+
+    With ``validate=True`` every phase output is checked against the
+    paper's invariants (see :mod:`repro.lint.partcheck`) and a
+    :class:`~repro.lint.PartitionValidityError` is raised at the first
+    phase whose output violates one.
     """
     if scheme == "gdp":
-        return run_gdp(prepared, machine, gdp_config, rhop_config, object_home)
+        return run_gdp(
+            prepared, machine, gdp_config, rhop_config, object_home,
+            validate=validate,
+        )
     if scheme == "profilemax":
-        return run_profile_max(prepared, machine, rhop_config, pmax_imbalance)
+        return run_profile_max(
+            prepared, machine, rhop_config, pmax_imbalance, validate=validate
+        )
     if scheme == "naive":
-        return run_naive(prepared, machine, rhop_config)
+        return run_naive(prepared, machine, rhop_config, validate=validate)
     if scheme == "unified":
-        return run_unified(prepared, machine, rhop_config)
+        return run_unified(prepared, machine, rhop_config, validate=validate)
     raise ValueError(f"unknown scheme {scheme!r} (see SCHEME_TABLE)")
+
+
+def _require_valid(report: DiagnosticReport, phase: str) -> None:
+    """Raise :class:`PartitionValidityError` if ``report`` holds errors."""
+    if report.has_errors:
+        raise PartitionValidityError(report, phase=phase)
+
+
+def _validate_computation(
+    prepared: PreparedProgram,
+    module: Module,
+    result: RHOPResult,
+    assignment: Dict[int, int],
+    object_home: Optional[Dict[str, int]],
+) -> None:
+    """Post-phase-2 hook: locks honoured and feasible for the machine."""
+    report = diagnose_lock_violations(result, module)
+    if object_home is not None:
+        report.extend(
+            check_memory_locks(
+                module, assignment, object_home,
+                prepared.object_access_counts(), phase=result.phase,
+            )
+        )
+    _require_valid(report, result.phase)
+
+
+def _validate_final(
+    machine: Machine, module: Module, assignment: Dict[int, int]
+) -> None:
+    """Post-move-insertion hook: cut edges bridged, schedule feasible."""
+    _require_valid(check_moves(module, assignment, machine), "moves")
+    _require_valid(check_schedule(module, assignment, machine), "schedule")
 
 
 def finalize_and_evaluate(
@@ -145,6 +198,7 @@ def run_unified(
     prepared: PreparedProgram,
     machine: Machine,
     rhop_config: Optional[RHOPConfig] = None,
+    validate: bool = False,
 ) -> SchemeOutcome:
     """Upper bound: single multiported memory, plain RHOP."""
     module, _uid_map = prepared.fresh_copy()
@@ -152,7 +206,11 @@ def run_unified(
     t0 = time.perf_counter()
     result = rhop.partition_module(module)
     rhop_seconds = time.perf_counter() - t0
+    if validate:
+        _validate_computation(prepared, module, result, result.assignment, None)
     eval_result = finalize_and_evaluate(prepared, machine, module, result.assignment, result)
+    if validate:
+        _validate_final(machine, module, result.assignment)
     return SchemeOutcome(
         "unified", machine, module, result.assignment, None, eval_result,
         rhop_seconds, 1,
@@ -165,6 +223,7 @@ def run_gdp(
     gdp_config: Optional[GDPConfig] = None,
     rhop_config: Optional[RHOPConfig] = None,
     object_home: Optional[Dict[str, int]] = None,
+    validate: bool = False,
 ) -> SchemeOutcome:
     """The paper's method: global data partitioning, then locked RHOP."""
     if object_home is None:
@@ -178,13 +237,28 @@ def run_gdp(
             program_graph=prepared.program_graph,
         )
         object_home = data_partition.object_home
+    if validate:
+        _require_valid(
+            check_data_partition(
+                prepared.objects, object_home, machine,
+                size_imbalance=(gdp_config or GDPConfig()).size_imbalance,
+                merge=prepared.merge, phase="gdp",
+            ),
+            "gdp",
+        )
     module, _uid_map = prepared.fresh_copy()
     locks = memory_locks(module, object_home, prepared.object_access_counts())
     rhop = RHOP(machine.as_partitioned(), rhop_config, prepared.block_freq)
     t0 = time.perf_counter()
     result = rhop.partition_module(module, mem_locks=locks)
     rhop_seconds = time.perf_counter() - t0
+    if validate:
+        _validate_computation(
+            prepared, module, result, result.assignment, object_home
+        )
     eval_result = finalize_and_evaluate(prepared, machine, module, result.assignment, result)
+    if validate:
+        _validate_final(machine, module, result.assignment)
     return SchemeOutcome(
         "gdp", machine, module, result.assignment, dict(object_home),
         eval_result, rhop_seconds, 1,
@@ -196,6 +270,7 @@ def run_profile_max(
     machine: Machine,
     rhop_config: Optional[RHOPConfig] = None,
     imbalance: float = 1.15,
+    validate: bool = False,
 ) -> SchemeOutcome:
     """Profile Max: RHOP assuming unified memory, greedy object homing by
     dynamic access frequency (with a memory-balance threshold), then a
@@ -210,6 +285,15 @@ def run_profile_max(
     object_home = _greedy_profile_homes(
         prepared, module, first.assignment, op_counts, machine, imbalance
     )
+    if validate:
+        _require_valid(
+            check_data_partition(
+                prepared.objects, object_home, machine,
+                size_imbalance=imbalance, merge=prepared.merge,
+                phase="profilemax",
+            ),
+            "profilemax",
+        )
 
     module2, _ = prepared.fresh_copy()
     locks = memory_locks(module2, object_home, prepared.object_access_counts())
@@ -217,7 +301,13 @@ def run_profile_max(
     t0 = time.perf_counter()
     second = rhop2.partition_module(module2, mem_locks=locks)
     rhop_seconds += time.perf_counter() - t0
+    if validate:
+        _validate_computation(
+            prepared, module2, second, second.assignment, object_home
+        )
     eval_result = finalize_and_evaluate(prepared, machine, module2, second.assignment, second)
+    if validate:
+        _validate_final(machine, module2, second.assignment)
     return SchemeOutcome(
         "profilemax", machine, module2, second.assignment, object_home,
         eval_result, rhop_seconds, 2,
@@ -292,6 +382,7 @@ def run_naive(
     prepared: PreparedProgram,
     machine: Machine,
     rhop_config: Optional[RHOPConfig] = None,
+    validate: bool = False,
 ) -> SchemeOutcome:
     """Naïve post-pass placement (Section 2 / Figure 2): partition assuming
     unified memory, then home each object where it is accessed most and
@@ -332,7 +423,18 @@ def run_naive(
     for uid, cluster in rebinds.items():
         assignment[uid] = cluster
 
+    if validate:
+        # Naïve has no balance contract: only coverage and lock honesty.
+        _require_valid(
+            check_data_partition(
+                prepared.objects, object_home, machine, phase="naive"
+            ),
+            "naive",
+        )
+        _validate_computation(prepared, module, result, assignment, object_home)
     eval_result = finalize_and_evaluate(prepared, machine, module, assignment, result)
+    if validate:
+        _validate_final(machine, module, assignment)
     return SchemeOutcome(
         "naive", machine, module, assignment, object_home, eval_result,
         rhop_seconds, 1,

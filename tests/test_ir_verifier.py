@@ -198,3 +198,95 @@ def test_error_collects_multiple_problems():
     with pytest.raises(VerificationError) as exc:
         verify_function(func)
     assert len(exc.value.errors) >= 2  # arity + missing terminator
+
+
+def test_arity_table_covers_every_opcode():
+    from repro.ir.verifier import _ARITY
+
+    assert set(_ARITY) == set(Opcode)
+
+
+def test_external_arity_covers_every_known_external():
+    from repro.ir.verifier import _EXTERNAL_ARITY, KNOWN_EXTERNALS
+
+    assert set(_EXTERNAL_ARITY) == KNOWN_EXTERNALS
+
+
+def test_module_errors_lists_without_raising():
+    from repro.ir.verifier import module_errors
+
+    assert module_errors(valid_module()) == []
+    mod = valid_module()
+    mod.function("main").entry.insert(
+        0,
+        Operation(Opcode.LOAD, mod.function("main").new_vreg(INT),
+                  [GlobalAddress("nope", INT)]),
+    )
+    errors = module_errors(mod)
+    assert any("undefined global" in e for e in errors)
+
+
+def _call(callee, srcs, dest=None):
+    return Operation(
+        Opcode.CALL, dest, [FunctionRef(callee, INT)] + srcs,
+        attrs={"callee": callee},
+    )
+
+
+def test_external_call_wrong_arg_count():
+    mod = valid_module()
+    mod.function("main").entry.insert(
+        0, _call("print_int", [Constant(1), Constant(2)])
+    )
+    with pytest.raises(VerificationError, match="passes 2 argument"):
+        verify_module(mod)
+
+
+def test_external_void_result_capture_rejected():
+    mod = valid_module()
+    func = mod.function("main")
+    func.entry.insert(0, _call("abort", [], dest=func.new_vreg(INT)))
+    with pytest.raises(VerificationError, match="returns void"):
+        verify_module(mod)
+
+
+def test_module_function_call_wrong_arg_count():
+    mod = valid_module()
+    callee = Function("helper", [VirtualRegister(50, INT, "x")], INT)
+    callee.add_block("entry").append(Operation(Opcode.RET, srcs=[Constant(0)]))
+    mod.add_function(callee)
+    mod.function("main").entry.insert(0, _call("helper", []))
+    with pytest.raises(VerificationError, match="passes 0 argument"):
+        verify_module(mod)
+
+
+def test_module_function_void_result_capture_rejected():
+    from repro.ir.types import VOID
+
+    mod = valid_module()
+    callee = Function("noise", [], VOID)
+    callee.add_block("entry").append(Operation(Opcode.RET))
+    mod.add_function(callee)
+    func = mod.function("main")
+    func.entry.insert(0, _call("noise", [], dest=func.new_vreg(INT)))
+    with pytest.raises(VerificationError, match="returns void"):
+        verify_module(mod)
+
+
+def test_correct_call_signatures_pass():
+    from repro.ir.types import VOID
+
+    mod = valid_module()
+    callee = Function("helper", [VirtualRegister(50, INT, "x")], INT)
+    callee.add_block("entry").append(Operation(Opcode.RET, srcs=[Constant(0)]))
+    mod.add_function(callee)
+    noise = Function("noise", [], VOID)
+    noise.add_block("entry").append(Operation(Opcode.RET))
+    mod.add_function(noise)
+    func = mod.function("main")
+    func.entry.insert(0, _call("noise", []))
+    func.entry.insert(
+        0, _call("helper", [Constant(3)], dest=func.new_vreg(INT))
+    )
+    func.entry.insert(0, _call("print_int", [Constant(1)]))
+    verify_module(mod)
