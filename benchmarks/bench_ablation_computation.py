@@ -7,7 +7,7 @@ mirroring the motivation for RHOP in the PLDI'03 paper.
 
 from functools import lru_cache
 
-from harness import outcome, prepared
+from harness import outcome, prepared, register_cache
 
 from repro.evalmodel import arithmetic_mean, format_table
 from repro.machine import two_cluster_machine
@@ -18,6 +18,7 @@ SAMPLE = ("rawcaudio", "rawdaudio", "fsed", "fir", "latnrm", "g721dec")
 LAT = 5
 
 
+@register_cache
 @lru_cache(maxsize=None)
 def bug_outcome(name: str) -> SchemeOutcome:
     prep = prepared(name)

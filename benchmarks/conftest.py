@@ -4,3 +4,23 @@ import os
 import sys
 
 sys.path.insert(0, os.path.dirname(__file__))
+
+import pytest  # noqa: E402
+
+#: Full-suite figures legitimately run for minutes; lift the tier-1
+#: per-test cap (pyproject ``timeout``) for everything in this directory.
+BENCH_TIMEOUT_SECONDS = 1800
+
+
+def pytest_collection_modifyitems(config, items):
+    for item in items:
+        if item.get_closest_marker("timeout") is None:
+            item.add_marker(pytest.mark.timeout(BENCH_TIMEOUT_SECONDS))
+
+
+def pytest_sessionfinish(session, exitstatus):
+    # The harness caches prepared programs and outcomes for the whole
+    # session; release them so back-to-back in-process runs start cold.
+    import harness
+
+    harness.clear_caches()

@@ -37,6 +37,38 @@ def outcome(name: str, scheme: str, latency: int) -> SchemeOutcome:
     return run_scheme(prepared(name), machine, scheme)
 
 
+@lru_cache(maxsize=None)
+def resilient(name: str, scheme: str, latency: int):
+    """Scheme outcome via :class:`repro.resilience.ResilientPipeline` —
+    use when a bench needs the :class:`RunReport` per-phase wall clocks
+    (e.g. Section 4.5 compile-time numbers) rather than just the result."""
+    from repro.resilience import ResilientPipeline
+
+    machine = two_cluster_machine(move_latency=latency)
+    pipe = ResilientPipeline(machine, retries=0, fallback=False,
+                             validate=False)
+    return pipe.run(prepared(name), scheme)
+
+
+#: Session-lifetime caches; cleared by :func:`clear_caches` (wired into
+#: ``conftest.py``) so repeated in-process pytest sessions don't reuse
+#: stale outcomes.  Bench modules with their own ``lru_cache`` helpers
+#: can join via :func:`register_cache`.
+_CACHES = [prepared, outcome, resilient]
+
+
+def register_cache(fn):
+    """Register an ``lru_cache``-decorated callable with clear_caches()."""
+    _CACHES.append(fn)
+    return fn
+
+
+def clear_caches() -> None:
+    """Drop every cached prepared program and scheme outcome."""
+    for fn in _CACHES:
+        fn.cache_clear()
+
+
 def relative_performance(name: str, scheme: str, latency: int) -> float:
     """Cycles(unified) / cycles(scheme): 1.0 = unified-memory parity."""
     base = outcome(name, "unified", latency).cycles

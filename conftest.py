@@ -1,0 +1,72 @@
+"""Root pytest configuration: per-test wall-clock timeouts.
+
+Tier-1 tests are capped per test via the ``timeout`` ini option (see
+``pyproject.toml``) so a hung refinement loop fails one test instead of
+wedging the whole session.  When the real ``pytest-timeout`` plugin is
+installed it owns the option; otherwise the minimal SIGALRM fallback
+below enforces the same cap (main thread, POSIX only — platforms without
+SIGALRM simply run uncapped, as before this file existed).
+"""
+
+import signal
+
+import pytest
+
+try:
+    import pytest_timeout  # noqa: F401
+
+    HAVE_TIMEOUT_PLUGIN = True
+except ImportError:
+    HAVE_TIMEOUT_PLUGIN = False
+
+_FALLBACK_ACTIVE = not HAVE_TIMEOUT_PLUGIN and hasattr(signal, "SIGALRM")
+
+
+def pytest_addoption(parser):
+    if not HAVE_TIMEOUT_PLUGIN:
+        parser.addini(
+            "timeout",
+            "per-test timeout in seconds (SIGALRM fallback for the "
+            "pytest-timeout plugin; 0 disables)",
+            default="0",
+        )
+
+
+def pytest_configure(config):
+    if not HAVE_TIMEOUT_PLUGIN:
+        config.addinivalue_line(
+            "markers",
+            "timeout(seconds): per-test wall-clock cap "
+            "(pytest-timeout, or the conftest SIGALRM fallback)",
+        )
+
+
+def _timeout_for(item) -> float:
+    marker = item.get_closest_marker("timeout")
+    if marker is not None and marker.args:
+        return float(marker.args[0])
+    try:
+        return float(item.config.getini("timeout") or 0)
+    except (TypeError, ValueError):
+        return 0.0
+
+
+@pytest.hookimpl(hookwrapper=True)
+def pytest_runtest_call(item):
+    seconds = _timeout_for(item) if _FALLBACK_ACTIVE else 0.0
+    if seconds <= 0:
+        yield
+        return
+
+    def on_alarm(signum, frame):
+        raise TimeoutError(
+            f"{item.nodeid} exceeded the {seconds:.0f}s per-test timeout"
+        )
+
+    previous = signal.signal(signal.SIGALRM, on_alarm)
+    signal.setitimer(signal.ITIMER_REAL, seconds)
+    try:
+        yield
+    finally:
+        signal.setitimer(signal.ITIMER_REAL, 0)
+        signal.signal(signal.SIGALRM, previous)

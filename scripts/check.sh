@@ -68,6 +68,52 @@ for bench in all_benchmarks():
 sys.exit(1 if bad else 0)
 PY
 
+# -- 4. fault-injection smoke (one spec per fault class) ----------------------
+# Each run must exit 0; persistent faults must be survived via the
+# degradation ladder with the fallback recorded in the run report.
+
+note "fault-injection smoke (resilient pipeline, one spec per fault class)"
+python - <<'PY' || failures=$((failures + 1))
+import json
+import sys
+import tempfile
+
+from repro.cli import main
+
+# (spec, expect_fallback): persistent raise / corrupt-homes faults must be
+# survived by falling down the ladder; unlock and slow-moves must at least
+# fire and finish (unlock is repaired or caught depending on the victim).
+SPECS = [
+    ("seed=7;raise:gdp", True),
+    ("seed=7;corrupt-homes:gdp:2", True),
+    ("seed=7;unlock:gdp:4", None),
+    ("seed=7;slow-moves:4", None),
+]
+
+bad = 0
+for spec, expect_fallback in SPECS:
+    with tempfile.NamedTemporaryFile("r", suffix=".json") as tmp:
+        code = main([
+            "partition", "examples/quickstart.py",
+            "--fallback", "--retries", "1",
+            "--fault-spec", spec, "--run-report", tmp.name,
+        ])
+        report = json.load(open(tmp.name))
+    faults = report["summary"]["faults"]
+    fallbacks = report["summary"]["fallbacks"]
+    ok = (
+        code == 0
+        and faults >= 1
+        and report["final"]["status"] == "ok"
+        and (expect_fallback is None or (fallbacks >= 1) == expect_fallback)
+    )
+    print(f"{'ok' if ok else 'FAIL'}: --fault-spec '{spec}' "
+          f"(exit {code}, {faults} fault(s), {fallbacks} fallback(s), "
+          f"final {report['final']['scheme']})")
+    bad += 0 if ok else 1
+sys.exit(1 if bad else 0)
+PY
+
 if [ "$failures" -ne 0 ]; then
     note "$failures check group(s) failed"
     exit 1

@@ -58,6 +58,60 @@ def _add_machine_flags(parser: argparse.ArgumentParser) -> None:
                         help="intercluster move latency (default 5)")
 
 
+def _add_resilience_flags(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--max-seconds", type=float, default=None,
+                        metavar="S",
+                        help="wall-clock budget: partitioners return their "
+                        "best-so-far result once it expires (anytime mode)")
+    parser.add_argument("--retries", type=int, default=None, metavar="N",
+                        help="re-run a failed scheme N more times with a "
+                        "reseeded partitioner before falling back")
+    parser.add_argument("--fallback", action="store_true",
+                        help="on failure, degrade down the quality ladder "
+                        "gdp -> profilemax -> naive -> unified")
+    parser.add_argument("--run-report", metavar="PATH",
+                        help="write a JSON report of every attempt, fault, "
+                        "fallback and per-phase wall time to PATH")
+    parser.add_argument("--fault-spec", metavar="SPEC",
+                        help="inject deterministic faults, e.g. "
+                        "'seed=7;raise:gdp@1' (see DESIGN.md for the "
+                        "grammar)")
+
+
+def _wants_resilience(args) -> bool:
+    return any((
+        args.max_seconds is not None,
+        args.retries is not None,
+        args.fallback,
+        args.run_report,
+        args.fault_spec,
+    ))
+
+
+def _resilient_pipeline(args):
+    from .resilience import Budget, FaultPlan, ResilientPipeline
+
+    budget = (
+        Budget(max_seconds=args.max_seconds)
+        if args.max_seconds is not None else None
+    )
+    faults = FaultPlan.parse(args.fault_spec) if args.fault_spec else None
+    return ResilientPipeline(
+        two_cluster_machine(move_latency=args.latency),
+        retries=args.retries if args.retries is not None else 1,
+        fallback=args.fallback,
+        validate=True,
+        budget=budget,
+        faults=faults,
+    )
+
+
+def _save_run_report(args, report) -> None:
+    if args.run_report:
+        report.save(args.run_report)
+        print(f"[run report written to {args.run_report}]")
+
+
 def _compile(args) -> int:
     module = compile_source(
         _read_source(args.file), args.name,
@@ -99,6 +153,8 @@ def _prepared_from_args(args) -> PreparedProgram:
 
 def _partition(args) -> int:
     prepared = _prepared_from_args(args)
+    if _wants_resilience(args):
+        return _partition_resilient(args, prepared)
     pipe = Pipeline(
         two_cluster_machine(move_latency=args.latency),
         validate=getattr(args, "verify_partition", False),
@@ -125,8 +181,68 @@ def _partition_validity_error():
     return PartitionValidityError
 
 
+def _partition_resilient(args, prepared) -> int:
+    from .resilience import LadderExhausted
+
+    pipe = _resilient_pipeline(args)
+    try:
+        result = pipe.run(prepared, args.scheme)
+    except LadderExhausted as exc:
+        print(exc)
+        if exc.run_report is not None:
+            _save_run_report(args, exc.run_report)
+        return 1
+    scheme = result.scheme
+    if result.fell_back:
+        print(f"scheme:  {scheme} (fallback from {result.requested})")
+    else:
+        print(f"scheme:  {scheme}")
+    print(f"cycles:  {result.cycles:.0f}")
+    print(f"dynamic intercluster moves: {result.dynamic_moves:.0f}")
+    summary = result.report.to_dict()["summary"]
+    print(f"attempts: {summary['attempts']}  faults: {summary['faults']}  "
+          f"fallbacks: {summary['fallbacks']}")
+    if result.object_home:
+        print("object placement:")
+        for obj, cluster in sorted(result.object_home.items()):
+            size = prepared.objects[obj].size
+            print(f"  cluster {cluster}: {obj} ({size} bytes)")
+    _save_run_report(args, result.report)
+    return 0
+
+
+def _compare_resilient(args, prepared) -> int:
+    from .resilience import LadderExhausted, RunReport
+
+    pipe = _resilient_pipeline(args)
+    report = RunReport()
+    try:
+        outcomes = pipe.run_all(prepared, report=report)
+    except LadderExhausted as exc:
+        print(exc)
+        _save_run_report(args, report)
+        return 1
+    base = outcomes["unified"].cycles
+    rows = []
+    for name in ("unified", "gdp", "profilemax", "naive"):
+        out = outcomes[name]
+        ran_as = out.scheme if out.fell_back else ""
+        rows.append([
+            name, ran_as, f"{out.cycles:.0f}",
+            f"{base / out.cycles:.3f}" if out.cycles else "-",
+            f"{out.dynamic_moves:.0f}",
+        ])
+    print(format_table(
+        ["scheme", "ran as", "cycles", "vs unified", "dyn moves"], rows
+    ))
+    _save_run_report(args, report)
+    return 0
+
+
 def _compare(args) -> int:
     prepared = _prepared_from_args(args)
+    if _wants_resilience(args):
+        return _compare_resilient(args, prepared)
     pipe = Pipeline(
         two_cluster_machine(move_latency=args.latency),
         validate=getattr(args, "verify_partition", False),
@@ -249,6 +365,7 @@ def build_parser() -> argparse.ArgumentParser:
                    help="check every phase output against the paper's "
                    "invariants (fails on any violation)")
     _add_machine_flags(p)
+    _add_resilience_flags(p)
     p.set_defaults(func=_partition)
 
     p = sub.add_parser("compare", help="compare all four schemes")
@@ -257,6 +374,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--verify-partition", action="store_true",
                    help="validate each scheme's phase outputs while running")
     _add_machine_flags(p)
+    _add_resilience_flags(p)
     p.set_defaults(func=_compare)
 
     p = sub.add_parser("bench", help="list or evaluate bundled benchmarks")

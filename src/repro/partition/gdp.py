@@ -28,6 +28,9 @@ class GDPConfig:
     achieved by allowing for more imbalance of the resulting partition").
     ``use_op_weight`` adds the operation count as a second balance
     constraint (METIS multi-weight mode) with tolerance ``op_imbalance``.
+    ``budget`` is a cooperative :class:`repro.resilience.Budget` polled by
+    the multilevel partitioner's restart/refinement loops; on expiry the
+    best partition found so far is returned (anytime behaviour).
     """
 
     def __init__(
@@ -36,11 +39,26 @@ class GDPConfig:
         use_op_weight: bool = False,
         op_imbalance: float = 2.0,
         seed: int = 12345,
+        budget=None,
     ):
         self.size_imbalance = size_imbalance
         self.use_op_weight = use_op_weight
         self.op_imbalance = op_imbalance
         self.seed = seed
+        self.budget = budget
+
+    def reseeded(self, offset: int, budget=None) -> "GDPConfig":
+        """A copy with the base seed bumped by ``offset`` — the retry
+        knob the resilient pipeline drives (the multilevel partitioner
+        already derives each restart's rng from ``seed + attempt``).
+        ``budget``, when given, replaces the copy's budget."""
+        return GDPConfig(
+            size_imbalance=self.size_imbalance,
+            use_op_weight=self.use_op_weight,
+            op_imbalance=self.op_imbalance,
+            seed=self.seed + offset,
+            budget=budget if budget is not None else self.budget,
+        )
 
 
 class DataPartition:
@@ -124,7 +142,8 @@ def gdp_partition(
         else (config.size_imbalance,)
     )
     partitioner = MultilevelPartitioner(
-        k=num_clusters, imbalance=imbalance, seed=config.seed
+        k=num_clusters, imbalance=imbalance, seed=config.seed,
+        budget=config.budget,
     )
     group_cluster = partitioner.partition(pgraph)
 

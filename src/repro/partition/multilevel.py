@@ -24,6 +24,8 @@ from __future__ import annotations
 import random
 from typing import Dict, Hashable, List, Optional, Sequence, Tuple
 
+from ..resilience.budget import Budget, budget_expired
+
 Node = Hashable
 
 
@@ -98,6 +100,7 @@ class MultilevelPartitioner:
         coarsen_to: Optional[int] = None,
         refine_passes: int = 4,
         restarts: int = 4,
+        budget: Optional[Budget] = None,
     ):
         if k < 1:
             raise ValueError("k must be >= 1")
@@ -109,6 +112,11 @@ class MultilevelPartitioner:
         self.coarsen_to = coarsen_to or max(24, 6 * k)
         self.refine_passes = refine_passes
         self.restarts = restarts
+        #: Cooperative deadline (anytime behaviour): the first V-cycle
+        #: always completes so an assignment always exists; on expiry the
+        #: remaining restarts and refinement passes are skipped and the
+        #: best assignment found so far is returned.
+        self.budget = budget
 
     # -- public API --------------------------------------------------------------
 
@@ -132,6 +140,8 @@ class MultilevelPartitioner:
         best: Optional[Dict[Node, int]] = None
         best_key = None
         for attempt in range(self.restarts):
+            if attempt > 0 and budget_expired(self.budget):
+                break  # anytime: keep the best completed V-cycle
             assignment = self._one_cycle(graph, random.Random(self.seed + attempt))
             key = (self._violation(graph, assignment), graph.cut_weight(assignment))
             if best_key is None or key < best_key:
@@ -151,7 +161,13 @@ class MultilevelPartitioner:
                 node: assignment[level.projection[node]]
                 for node in fine.weights
             }
-            assignment = self._refine(fine, projected, rng)
+            # On budget expiry keep projecting (the assignment must reach
+            # the original graph's nodes) but skip the refinement work.
+            assignment = (
+                projected
+                if budget_expired(self.budget)
+                else self._refine(fine, projected, rng)
+            )
         return assignment
 
     def _violation(self, graph: PartitionGraph, assignment: Dict[Node, int]) -> float:
@@ -335,6 +351,8 @@ class MultilevelPartitioner:
 
         assignment = dict(assignment)
         for _ in range(self.refine_passes):
+            if budget_expired(self.budget):
+                break
             moved = False
             order = [n for n in graph.weights if n not in graph.fixed]
             rng.shuffle(order)

@@ -40,13 +40,21 @@ from ..analysis.dominators import DominatorTree
 from ..analysis.loops import LoopInfo
 from ..ir import Function, Module, Operation
 from ..machine import Machine
+from ..resilience.budget import budget_expired
 from ..schedule.depgraph import DependenceGraph
 from .estimator import Anchor, INFEASIBLE, ScheduleEstimator
 from .merges import UnionFind
 
 
 class RHOPConfig:
-    """Tunables for the computation partitioner."""
+    """Tunables for the computation partitioner.
+
+    ``budget`` is a cooperative :class:`repro.resilience.Budget`: the
+    restart, global-pass, and refinement loops poll it and, on expiry,
+    return the best complete assignment found so far instead of running
+    to completion (anytime behaviour).  Every block always receives an
+    assignment — expiry only trims optional improvement work.
+    """
 
     def __init__(
         self,
@@ -56,6 +64,7 @@ class RHOPConfig:
         cut_tiebreak: bool = True,
         restarts: int = 2,
         global_passes: int = 2,
+        budget=None,
     ):
         self.refine_passes = refine_passes
         self.coarsen_to_per_cluster = coarsen_to_per_cluster
@@ -63,6 +72,21 @@ class RHOPConfig:
         self.cut_tiebreak = cut_tiebreak
         self.restarts = max(1, restarts)
         self.global_passes = max(1, global_passes)
+        self.budget = budget
+
+    def reseeded(self, offset: int, budget=None) -> "RHOPConfig":
+        """A copy with the base seed bumped by ``offset`` (the resilient
+        pipeline's retry knob); ``budget``, when given, replaces the
+        copy's budget."""
+        return RHOPConfig(
+            refine_passes=self.refine_passes,
+            coarsen_to_per_cluster=self.coarsen_to_per_cluster,
+            seed=self.seed + offset,
+            cut_tiebreak=self.cut_tiebreak,
+            restarts=self.restarts,
+            global_passes=self.global_passes,
+            budget=budget if budget is not None else self.budget,
+        )
 
 
 class RHOPResult:
@@ -162,6 +186,8 @@ class RHOP:
         pending_uses: Dict[int, Dict[int, float]] = {}
         for gpass in range(self.config.global_passes):
             if gpass > 0:
+                if budget_expired(self.config.budget):
+                    break  # pass 0 placed every op; skip global repair
                 pending_uses = self._full_use_map(func, result.assignment)
                 homes.clear()
             for name in order:
@@ -226,6 +252,8 @@ class RHOP:
         best_cluster_of: Dict[int, int] = {}
         best_key = None
         for attempt in range(self.config.restarts):
+            if attempt > 0 and budget_expired(self.config.budget):
+                break  # anytime: keep the best completed cycle
             attempt_rng = random.Random(rng.randrange(1 << 30) + attempt)
             cluster_of = self._one_block_cycle(
                 graph, base_groups, locks, estimator, uids, attempt_rng
@@ -268,8 +296,12 @@ class RHOP:
             for uid in members:
                 cluster_of[uid] = choice
 
-        # Uncoarsen with refinement at every level.
+        # Uncoarsen with refinement at every level.  The initial
+        # assignment above already covers every op, so on budget expiry
+        # the remaining refinement levels can be skipped wholesale.
         for level_groups in reversed(levels):
+            if budget_expired(self.config.budget):
+                break
             self._refine_level(level_groups, cluster_of, locks, estimator, rng)
         return cluster_of
 
@@ -492,11 +524,15 @@ class RHOP:
             if self._group_lock(members, locks) is None
         ]
         for _ in range(self.config.refine_passes):
+            if budget_expired(self.config.budget):
+                break
             current = estimator.estimate(cluster_of)
             current_moves = estimator.move_count(cluster_of)
             improved = False
             rng.shuffle(movable)
             for gid in movable:
+                if budget_expired(self.config.budget):
+                    break  # estimator calls dominate; stop mid-pass too
                 members = level_groups[gid]
                 src = cluster_of[next(iter(members))]
                 best_dst, best_key = None, (current, current_moves)

@@ -61,7 +61,11 @@ class Pipeline:
         prepared: PreparedProgram,
         schemes: Iterable[str] = ("unified", "gdp", "profilemax", "naive"),
     ) -> Dict[str, SchemeOutcome]:
-        return {name: self.run(prepared, name) for name in schemes}
+        """Run each distinct scheme once, in first-seen order (a caller
+        passing a list that repeats a scheme doesn't pay for it twice)."""
+        return {
+            name: self.run(prepared, name) for name in dict.fromkeys(schemes)
+        }
 
     def compare(
         self,
@@ -70,9 +74,10 @@ class Pipeline:
     ) -> Dict[str, float]:
         """Relative performance of each scheme vs the unified upper bound
         (the paper's headline metric; 1.0 = matches unified memory)."""
-        outcomes = self.run_all(prepared, ["unified"] + list(schemes))
+        ordered = ["unified"] + [s for s in schemes if s != "unified"]
+        outcomes = self.run_all(prepared, ordered)
         base = outcomes["unified"].cycles
         return {
             name: (base / outcomes[name].cycles if outcomes[name].cycles else 0.0)
-            for name in schemes
+            for name in dict.fromkeys(schemes)
         }

@@ -14,8 +14,7 @@ scheduling.
 
 from __future__ import annotations
 
-import time
-from typing import Callable, Dict, Optional
+from typing import Callable, Dict, Optional, Union
 
 from ..evalmodel import EvalResult, evaluate_module
 from ..ir import Module
@@ -24,6 +23,8 @@ from ..partition.assign import insert_intercluster_moves
 from ..partition.gdp import DataPartition, GDPConfig, gdp_partition
 from ..partition.locks import memory_locks
 from ..partition.rhop import RHOP, RHOPConfig, RHOPResult
+from ..resilience.faults import FaultPlan
+from ..resilience.report import PhaseTimer
 from ..lint import (
     DiagnosticReport,
     PartitionValidityError,
@@ -71,7 +72,14 @@ SCHEME_TABLE = {
 
 
 class SchemeOutcome:
-    """Everything one scheme produced for one benchmark/machine pair."""
+    """Everything one scheme produced for one benchmark/machine pair.
+
+    ``timings`` maps pipeline-phase names (``"gdp"``, ``"homes"``,
+    ``"rhop"``, ``"finalize"``) to wall seconds — the per-phase clocks the
+    resilience run reports and the compile-time benchmarks both read, so
+    the two can never drift apart.  A bare float is accepted for backward
+    compatibility and interpreted as the RHOP time.
+    """
 
     def __init__(
         self,
@@ -81,7 +89,7 @@ class SchemeOutcome:
         assignment: Dict[int, int],
         object_home: Optional[Dict[str, int]],
         eval_result: EvalResult,
-        rhop_seconds: float,
+        timings: Union[float, Dict[str, float]],
         rhop_runs: int,
     ):
         self.scheme = scheme
@@ -90,8 +98,17 @@ class SchemeOutcome:
         self.assignment = assignment
         self.object_home = object_home
         self.eval = eval_result
-        self.rhop_seconds = rhop_seconds
+        if isinstance(timings, dict):
+            self.timings = dict(timings)
+        else:
+            self.timings = {"rhop": float(timings)}
         self.rhop_runs = rhop_runs
+
+    @property
+    def rhop_seconds(self) -> float:
+        """Seconds spent in the detailed computation partitioner (the
+        Section 4.5 compile-time metric), derived from :attr:`timings`."""
+        return self.timings.get("rhop", 0.0)
 
     @property
     def cycles(self) -> float:
@@ -114,6 +131,8 @@ def run_scheme(
     object_home: Optional[Dict[str, int]] = None,
     pmax_imbalance: float = 1.15,
     validate: bool = False,
+    seed_offset: int = 0,
+    faults: Optional[FaultPlan] = None,
 ) -> SchemeOutcome:
     """Run one named scheme end to end.
 
@@ -124,20 +143,35 @@ def run_scheme(
     paper's invariants (see :mod:`repro.lint.partcheck`) and a
     :class:`~repro.lint.PartitionValidityError` is raised at the first
     phase whose output violates one.
+
+    ``seed_offset`` bumps the randomized partitioners' base seeds (the
+    resilient pipeline's retry-with-reseed knob); ``faults`` installs a
+    deterministic :class:`~repro.resilience.faults.FaultPlan` whose
+    clauses fire at this function's injection points.
     """
+    if seed_offset:
+        gdp_config = (gdp_config or GDPConfig()).reseeded(seed_offset)
+        rhop_config = (rhop_config or RHOPConfig()).reseeded(seed_offset)
+    if faults is not None:
+        machine = faults.machine_for(machine)
     if scheme == "gdp":
         return run_gdp(
             prepared, machine, gdp_config, rhop_config, object_home,
-            validate=validate,
+            validate=validate, faults=faults,
         )
     if scheme == "profilemax":
         return run_profile_max(
-            prepared, machine, rhop_config, pmax_imbalance, validate=validate
+            prepared, machine, rhop_config, pmax_imbalance, validate=validate,
+            faults=faults,
         )
     if scheme == "naive":
-        return run_naive(prepared, machine, rhop_config, validate=validate)
+        return run_naive(
+            prepared, machine, rhop_config, validate=validate, faults=faults
+        )
     if scheme == "unified":
-        return run_unified(prepared, machine, rhop_config, validate=validate)
+        return run_unified(
+            prepared, machine, rhop_config, validate=validate, faults=faults
+        )
     raise ValueError(f"unknown scheme {scheme!r} (see SCHEME_TABLE)")
 
 
@@ -199,21 +233,29 @@ def run_unified(
     machine: Machine,
     rhop_config: Optional[RHOPConfig] = None,
     validate: bool = False,
+    faults: Optional[FaultPlan] = None,
 ) -> SchemeOutcome:
     """Upper bound: single multiported memory, plain RHOP."""
+    timer = PhaseTimer()
+    if faults is not None:
+        faults.maybe_raise("unified")
     module, _uid_map = prepared.fresh_copy()
     rhop = RHOP(machine.as_unified(), rhop_config, prepared.block_freq)
-    t0 = time.perf_counter()
-    result = rhop.partition_module(module)
-    rhop_seconds = time.perf_counter() - t0
+    if faults is not None:
+        faults.maybe_raise("rhop")
+    with timer.phase("rhop"):
+        result = rhop.partition_module(module)
     if validate:
         _validate_computation(prepared, module, result, result.assignment, None)
-    eval_result = finalize_and_evaluate(prepared, machine, module, result.assignment, result)
+    with timer.phase("finalize"):
+        eval_result = finalize_and_evaluate(
+            prepared, machine, module, result.assignment, result
+        )
     if validate:
         _validate_final(machine, module, result.assignment)
     return SchemeOutcome(
         "unified", machine, module, result.assignment, None, eval_result,
-        rhop_seconds, 1,
+        timer.timings, 1,
     )
 
 
@@ -224,18 +266,23 @@ def run_gdp(
     rhop_config: Optional[RHOPConfig] = None,
     object_home: Optional[Dict[str, int]] = None,
     validate: bool = False,
+    faults: Optional[FaultPlan] = None,
 ) -> SchemeOutcome:
     """The paper's method: global data partitioning, then locked RHOP."""
+    timer = PhaseTimer()
     if object_home is None:
-        data_partition = gdp_partition(
-            prepared.module,
-            prepared.objects,
-            machine.num_clusters,
-            block_freq=prepared.block_freq,
-            config=gdp_config,
-            merge=prepared.merge,
-            program_graph=prepared.program_graph,
-        )
+        if faults is not None:
+            faults.maybe_raise("gdp")
+        with timer.phase("gdp"):
+            data_partition = gdp_partition(
+                prepared.module,
+                prepared.objects,
+                machine.num_clusters,
+                block_freq=prepared.block_freq,
+                config=gdp_config,
+                merge=prepared.merge,
+                program_graph=prepared.program_graph,
+            )
         object_home = data_partition.object_home
     if validate:
         _require_valid(
@@ -248,20 +295,32 @@ def run_gdp(
         )
     module, _uid_map = prepared.fresh_copy()
     locks = memory_locks(module, object_home, prepared.object_access_counts())
+    if faults is not None:
+        # Post-lock corruption models phase-1 output poisoning: the homes
+        # the run records disagree with the locks RHOP honoured — exactly
+        # the cross-phase inconsistency the validity checker detects.
+        locks = faults.drop_locks(locks, "gdp")
+        object_home = faults.corrupt_homes(
+            object_home, machine.num_clusters, "gdp",
+            accessed=prepared.object_access_counts(),
+        )
+        faults.maybe_raise("rhop")
     rhop = RHOP(machine.as_partitioned(), rhop_config, prepared.block_freq)
-    t0 = time.perf_counter()
-    result = rhop.partition_module(module, mem_locks=locks)
-    rhop_seconds = time.perf_counter() - t0
+    with timer.phase("rhop"):
+        result = rhop.partition_module(module, mem_locks=locks)
     if validate:
         _validate_computation(
             prepared, module, result, result.assignment, object_home
         )
-    eval_result = finalize_and_evaluate(prepared, machine, module, result.assignment, result)
+    with timer.phase("finalize"):
+        eval_result = finalize_and_evaluate(
+            prepared, machine, module, result.assignment, result
+        )
     if validate:
         _validate_final(machine, module, result.assignment)
     return SchemeOutcome(
         "gdp", machine, module, result.assignment, dict(object_home),
-        eval_result, rhop_seconds, 1,
+        eval_result, timer.timings, 1,
     )
 
 
@@ -271,20 +330,26 @@ def run_profile_max(
     rhop_config: Optional[RHOPConfig] = None,
     imbalance: float = 1.15,
     validate: bool = False,
+    faults: Optional[FaultPlan] = None,
 ) -> SchemeOutcome:
     """Profile Max: RHOP assuming unified memory, greedy object homing by
     dynamic access frequency (with a memory-balance threshold), then a
     second locked RHOP run."""
+    timer = PhaseTimer()
     module, uid_map = prepared.fresh_copy()
     rhop1 = RHOP(machine.as_unified(), rhop_config, prepared.block_freq)
-    t0 = time.perf_counter()
-    first = rhop1.partition_module(module)
-    rhop_seconds = time.perf_counter() - t0
+    if faults is not None:
+        faults.maybe_raise("rhop")
+    with timer.phase("rhop"):
+        first = rhop1.partition_module(module)
 
+    if faults is not None:
+        faults.maybe_raise("profilemax")
     op_counts = prepared.translated_op_counts(uid_map)
-    object_home = _greedy_profile_homes(
-        prepared, module, first.assignment, op_counts, machine, imbalance
-    )
+    with timer.phase("homes"):
+        object_home = _greedy_profile_homes(
+            prepared, module, first.assignment, op_counts, machine, imbalance
+        )
     if validate:
         _require_valid(
             check_data_partition(
@@ -297,20 +362,28 @@ def run_profile_max(
 
     module2, _ = prepared.fresh_copy()
     locks = memory_locks(module2, object_home, prepared.object_access_counts())
+    if faults is not None:
+        locks = faults.drop_locks(locks, "profilemax")
+        object_home = faults.corrupt_homes(
+            object_home, machine.num_clusters, "profilemax",
+            accessed=prepared.object_access_counts(),
+        )
     rhop2 = RHOP(machine.as_partitioned(), rhop_config, prepared.block_freq)
-    t0 = time.perf_counter()
-    second = rhop2.partition_module(module2, mem_locks=locks)
-    rhop_seconds += time.perf_counter() - t0
+    with timer.phase("rhop"):
+        second = rhop2.partition_module(module2, mem_locks=locks)
     if validate:
         _validate_computation(
             prepared, module2, second, second.assignment, object_home
         )
-    eval_result = finalize_and_evaluate(prepared, machine, module2, second.assignment, second)
+    with timer.phase("finalize"):
+        eval_result = finalize_and_evaluate(
+            prepared, machine, module2, second.assignment, second
+        )
     if validate:
         _validate_final(machine, module2, second.assignment)
     return SchemeOutcome(
         "profilemax", machine, module2, second.assignment, object_home,
-        eval_result, rhop_seconds, 2,
+        eval_result, timer.timings, 2,
     )
 
 
@@ -383,45 +456,57 @@ def run_naive(
     machine: Machine,
     rhop_config: Optional[RHOPConfig] = None,
     validate: bool = False,
+    faults: Optional[FaultPlan] = None,
 ) -> SchemeOutcome:
     """Naïve post-pass placement (Section 2 / Figure 2): partition assuming
     unified memory, then home each object where it is accessed most and
     patch remote accesses with intercluster transfers.  No balance, and
     the computation partitioner never sees the data locations."""
+    timer = PhaseTimer()
+    if faults is not None:
+        faults.maybe_raise("naive")
     module, uid_map = prepared.fresh_copy()
     rhop = RHOP(machine.as_unified(), rhop_config, prepared.block_freq)
-    t0 = time.perf_counter()
-    result = rhop.partition_module(module)
-    rhop_seconds = time.perf_counter() - t0
+    if faults is not None:
+        faults.maybe_raise("rhop")
+    with timer.phase("rhop"):
+        result = rhop.partition_module(module)
     assignment = dict(result.assignment)
 
     op_counts = prepared.translated_op_counts(uid_map)
     k = machine.num_clusters
-    per_object: Dict[str, Dict[int, float]] = {}
-    for func in module:
-        for op in func.operations():
-            if not op.is_memory_access():
-                continue
-            counts = op_counts.get(op.uid)
-            cluster = assignment[op.uid]
-            for obj in op.mem_objects():
-                dyn = counts.get(obj, 0) if counts else 0
-                per = per_object.setdefault(obj, {})
-                per[cluster] = per.get(cluster, 0.0) + dyn
+    with timer.phase("homes"):
+        per_object: Dict[str, Dict[int, float]] = {}
+        for func in module:
+            for op in func.operations():
+                if not op.is_memory_access():
+                    continue
+                counts = op_counts.get(op.uid)
+                cluster = assignment[op.uid]
+                for obj in op.mem_objects():
+                    dyn = counts.get(obj, 0) if counts else 0
+                    per = per_object.setdefault(obj, {})
+                    per[cluster] = per.get(cluster, 0.0) + dyn
 
-    object_home: Dict[str, int] = {}
-    for obj in prepared.objects.ids():
-        per = per_object.get(obj, {})
-        object_home[obj] = (
-            max(range(k), key=lambda c: (per.get(c, 0.0), -c)) if per else 0
-        )
+        object_home: Dict[str, int] = {}
+        for obj in prepared.objects.ids():
+            per = per_object.get(obj, {})
+            object_home[obj] = (
+                max(range(k), key=lambda c: (per.get(c, 0.0), -c)) if per else 0
+            )
 
-    # Post-pass: rebind each memory operation to its object's cluster; the
-    # generic move inserter then materialises the required transfers.
-    access_counts = prepared.object_access_counts()
-    rebinds = memory_locks(module, object_home, access_counts)
-    for uid, cluster in rebinds.items():
-        assignment[uid] = cluster
+        # Post-pass: rebind each memory operation to its object's cluster;
+        # the generic move inserter then materialises the transfers.
+        access_counts = prepared.object_access_counts()
+        rebinds = memory_locks(module, object_home, access_counts)
+        if faults is not None:
+            rebinds = faults.drop_locks(rebinds, "naive")
+        for uid, cluster in rebinds.items():
+            assignment[uid] = cluster
+        if faults is not None:
+            object_home = faults.corrupt_homes(
+                object_home, k, "naive", accessed=access_counts
+            )
 
     if validate:
         # Naïve has no balance contract: only coverage and lock honesty.
@@ -432,10 +517,13 @@ def run_naive(
             "naive",
         )
         _validate_computation(prepared, module, result, assignment, object_home)
-    eval_result = finalize_and_evaluate(prepared, machine, module, assignment, result)
+    with timer.phase("finalize"):
+        eval_result = finalize_and_evaluate(
+            prepared, machine, module, assignment, result
+        )
     if validate:
         _validate_final(machine, module, assignment)
     return SchemeOutcome(
         "naive", machine, module, assignment, object_home, eval_result,
-        rhop_seconds, 1,
+        timer.timings, 1,
     )

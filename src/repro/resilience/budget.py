@@ -1,0 +1,82 @@
+"""Cooperative wall-clock / attempt budgets for anytime partitioning.
+
+A :class:`Budget` is shared by reference between the resilient pipeline
+and the iterative partitioners (``GDPConfig.budget`` /
+``RHOPConfig.budget``).  The partitioners *poll* it inside their restart
+and refinement loops and return the best assignment found so far when it
+expires — a deadline never aborts a run mid-phase, it only trims optional
+work (extra multi-start cycles, extra refinement passes), so the result
+is always a complete, valid assignment.
+
+The clock is injectable so tests can drive expiry deterministically.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Callable, Optional
+
+
+class Budget:
+    """A cooperative deadline: wall-clock seconds and/or attempt count.
+
+    ``expired()`` is cheap and safe to call in inner loops.  The budget
+    starts ticking at construction; call :meth:`restart` to re-arm it
+    (e.g. when a budget built with a config is only used later).
+    """
+
+    def __init__(
+        self,
+        max_seconds: Optional[float] = None,
+        max_attempts: Optional[int] = None,
+        clock: Callable[[], float] = time.monotonic,
+    ):
+        if max_seconds is not None and max_seconds < 0:
+            raise ValueError("max_seconds must be >= 0")
+        if max_attempts is not None and max_attempts < 1:
+            raise ValueError("max_attempts must be >= 1")
+        self.max_seconds = max_seconds
+        self.max_attempts = max_attempts
+        self._clock = clock
+        self._start = clock()
+
+    # -- wall clock ------------------------------------------------------------
+
+    def restart(self) -> "Budget":
+        """Re-arm the deadline from *now*; returns self for chaining."""
+        self._start = self._clock()
+        return self
+
+    def elapsed(self) -> float:
+        return self._clock() - self._start
+
+    def remaining(self) -> Optional[float]:
+        """Seconds left, or None when no wall-clock limit is set."""
+        if self.max_seconds is None:
+            return None
+        return max(0.0, self.max_seconds - self.elapsed())
+
+    def expired(self) -> bool:
+        if self.max_seconds is None:
+            return False
+        return self.elapsed() >= self.max_seconds
+
+    # -- attempts --------------------------------------------------------------
+
+    def allows_attempt(self, attempt: int) -> bool:
+        """Whether 1-based attempt number ``attempt`` may start."""
+        if self.max_attempts is None:
+            return True
+        return attempt <= self.max_attempts
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"<budget {self.elapsed():.3f}s elapsed, "
+            f"max_seconds={self.max_seconds}, max_attempts={self.max_attempts}>"
+        )
+
+
+def budget_expired(budget: Optional[Budget]) -> bool:
+    """``budget is not None and budget.expired()`` — the poll the
+    partitioner loops use so an unset budget costs one ``is None`` test."""
+    return budget is not None and budget.expired()

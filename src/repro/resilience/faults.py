@@ -1,0 +1,272 @@
+"""Deterministic, seed-driven fault injection for the pipeline.
+
+A :class:`FaultPlan` is a parsed ``--fault-spec``: a list of clauses that
+fire at well-defined injection points inside the schemes
+(:mod:`repro.pipeline.schemes`).  Everything is derived from the plan
+seed and the (clause, scheme, phase, attempt) coordinates, so the same
+spec produces the same faults — and therefore the same degradation path
+and the same deterministic :class:`~repro.resilience.report.RunReport` —
+on every run.  That is what lets tests and CI exercise every rung of the
+degradation ladder instead of waiting for a real failure.
+
+Spec grammar (clauses joined by ``;`` or ``,``)::
+
+    seed=<int>                      rng seed for home/lock selection (default 0)
+    raise:<phase>[@<attempt>]       raise InjectedFault entering <phase>
+    corrupt-homes:<phase>:<K>[@<attempt>]   flip K object homes after <phase>
+    unlock:<phase>:<M>[@<attempt>]  drop M memory-op locks in <phase>
+    slow-moves:<factor>[@<attempt>] multiply intercluster move latency
+
+``<phase>`` is a scheme/phase name (``gdp``, ``profilemax``, ``naive``,
+``unified``, ``rhop``) or ``*`` for any.  Without ``@<attempt>`` a clause
+fires on *every* attempt (forcing a ladder fallback); with it, only on
+that 1-based attempt (so a reseed retry recovers).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Any, Dict, List, Optional
+
+from .errors import InjectedFault
+
+_KINDS = ("raise", "corrupt-homes", "unlock", "slow-moves")
+
+
+class FaultClause:
+    """One parsed clause of a fault spec."""
+
+    def __init__(
+        self,
+        kind: str,
+        phase: str = "*",
+        count: int = 0,
+        factor: float = 1.0,
+        attempt: Optional[int] = None,
+    ):
+        if kind not in _KINDS:
+            raise ValueError(f"unknown fault kind {kind!r} (one of {_KINDS})")
+        self.kind = kind
+        self.phase = phase
+        self.count = count
+        self.factor = factor
+        self.attempt = attempt
+
+    def matches(self, phase: str, attempt: int) -> bool:
+        if self.phase not in ("*", phase):
+            return False
+        return self.attempt is None or self.attempt == attempt
+
+    def __str__(self) -> str:
+        if self.kind == "raise":
+            body = f"raise:{self.phase}"
+        elif self.kind == "slow-moves":
+            body = f"slow-moves:{self.factor:g}"
+        else:
+            body = f"{self.kind}:{self.phase}:{self.count}"
+        if self.attempt is not None:
+            body += f"@{self.attempt}"
+        return body
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<fault {self}>"
+
+
+def _parse_clause(text: str) -> FaultClause:
+    body, attempt = text, None
+    if "@" in text:
+        body, _, attempt_text = text.rpartition("@")
+        try:
+            attempt = int(attempt_text)
+        except ValueError:
+            raise ValueError(f"bad attempt number in fault clause {text!r}") from None
+        if attempt < 1:
+            raise ValueError(f"attempt must be >= 1 in fault clause {text!r}")
+    parts = body.split(":")
+    kind = parts[0]
+    if kind == "raise":
+        if len(parts) != 2:
+            raise ValueError(f"expected raise:<phase> in {text!r}")
+        return FaultClause("raise", phase=parts[1], attempt=attempt)
+    if kind in ("corrupt-homes", "unlock"):
+        if len(parts) != 3:
+            raise ValueError(f"expected {kind}:<phase>:<count> in {text!r}")
+        try:
+            count = int(parts[2])
+        except ValueError:
+            raise ValueError(f"bad count in fault clause {text!r}") from None
+        if count < 1:
+            raise ValueError(f"count must be >= 1 in fault clause {text!r}")
+        return FaultClause(kind, phase=parts[1], count=count, attempt=attempt)
+    if kind == "slow-moves":
+        if len(parts) != 2:
+            raise ValueError(f"expected slow-moves:<factor> in {text!r}")
+        try:
+            factor = float(parts[1])
+        except ValueError:
+            raise ValueError(f"bad factor in fault clause {text!r}") from None
+        if factor <= 0:
+            raise ValueError(f"factor must be > 0 in fault clause {text!r}")
+        return FaultClause("slow-moves", factor=factor, attempt=attempt)
+    raise ValueError(f"unknown fault kind {kind!r} in clause {text!r}")
+
+
+class FaultPlan:
+    """A set of fault clauses plus the attempt context they fire in.
+
+    The resilient pipeline calls :meth:`begin_attempt` before each scheme
+    execution; the injection points inside the schemes then consult the
+    plan.  Every firing is appended to :attr:`fired` (drained into the
+    run report via :meth:`drain_fired`).
+    """
+
+    def __init__(self, clauses: Optional[List[FaultClause]] = None, seed: int = 0):
+        self.clauses = list(clauses or [])
+        self.seed = seed
+        self.fired: List[Dict[str, Any]] = []
+        self._scheme: Optional[str] = None
+        self._attempt = 1
+
+    # -- parsing ---------------------------------------------------------------
+
+    @classmethod
+    def parse(cls, spec: str) -> "FaultPlan":
+        """Parse a ``--fault-spec`` string (see module docstring)."""
+        clauses: List[FaultClause] = []
+        seed = 0
+        for raw in spec.replace(",", ";").split(";"):
+            text = raw.strip()
+            if not text:
+                continue
+            if text.startswith("seed="):
+                try:
+                    seed = int(text[len("seed="):])
+                except ValueError:
+                    raise ValueError(f"bad seed in fault spec: {text!r}") from None
+                continue
+            clauses.append(_parse_clause(text))
+        if not clauses:
+            raise ValueError(f"fault spec {spec!r} contains no fault clauses")
+        return cls(clauses, seed=seed)
+
+    # -- attempt context -------------------------------------------------------
+
+    def begin_attempt(self, scheme: str, attempt: int) -> None:
+        self._scheme = scheme
+        self._attempt = attempt
+
+    def drain_fired(self) -> List[Dict[str, Any]]:
+        fired, self.fired = self.fired, []
+        return fired
+
+    def _record(self, clause: FaultClause, phase: str, detail: str) -> None:
+        self.fired.append(
+            {
+                "clause": str(clause),
+                "phase": phase,
+                "scheme": self._scheme,
+                "attempt": self._attempt,
+                "detail": detail,
+            }
+        )
+
+    def _rng(self, clause: FaultClause, phase: str) -> random.Random:
+        # String seeds hash through SHA-512 in random.seed(version=2):
+        # deterministic across runs and processes, unlike hash(str).
+        return random.Random(
+            f"{self.seed}|{clause}|{phase}|{self._scheme}|{self._attempt}"
+        )
+
+    def _matching(self, kind: str, phase: str) -> List[FaultClause]:
+        return [
+            c
+            for c in self.clauses
+            if c.kind == kind and c.matches(phase, self._attempt)
+        ]
+
+    # -- injection points ------------------------------------------------------
+
+    def maybe_raise(self, phase: str) -> None:
+        """Raise :class:`InjectedFault` if a ``raise`` clause matches."""
+        for clause in self._matching("raise", phase):
+            self._record(clause, phase, "raised")
+            raise InjectedFault(
+                phase,
+                f"injected fault ({clause})",
+                scheme=self._scheme,
+            )
+
+    def corrupt_homes(
+        self,
+        object_home: Dict[str, int],
+        num_clusters: int,
+        phase: str,
+        accessed: Optional[Dict[str, int]] = None,
+    ) -> Dict[str, int]:
+        """Flip up to K object homes to a wrong cluster (seed-chosen).
+
+        Applied *after* memory locks are derived, so it models exactly the
+        cross-phase poisoning the validity checker exists to catch: the
+        recorded data partition disagrees with the locks the computation
+        partitioner honoured.  Candidates are restricted to dynamically
+        accessed objects so the corruption is observable.
+        """
+        clauses = self._matching("corrupt-homes", phase)
+        if not clauses or num_clusters < 2:
+            return object_home
+        corrupted = dict(object_home)
+        for clause in clauses:
+            candidates = sorted(
+                obj
+                for obj in corrupted
+                if accessed is None or accessed.get(obj, 0) > 0
+            ) or sorted(corrupted)
+            if not candidates:
+                continue
+            rng = self._rng(clause, phase)
+            chosen = rng.sample(candidates, min(clause.count, len(candidates)))
+            for obj in chosen:
+                home = corrupted[obj]
+                corrupted[obj] = (home + 1 + rng.randrange(num_clusters - 1)) % (
+                    num_clusters
+                )
+            self._record(
+                clause, phase, f"corrupted homes of {sorted(chosen)}"
+            )
+        return corrupted
+
+    def drop_locks(self, locks: Dict[int, int], phase: str) -> Dict[int, int]:
+        """Remove up to M memory-op locks (seed-chosen), letting those
+        operations float freely through the computation partitioner."""
+        clauses = self._matching("unlock", phase)
+        if not clauses:
+            return locks
+        remaining = dict(locks)
+        for clause in clauses:
+            if not remaining:
+                break
+            rng = self._rng(clause, phase)
+            chosen = rng.sample(
+                sorted(remaining), min(clause.count, len(remaining))
+            )
+            for uid in chosen:
+                del remaining[uid]
+            self._record(clause, phase, f"unlocked ops {sorted(chosen)}")
+        return remaining
+
+    def machine_for(self, machine: Any) -> Any:
+        """Apply any ``slow-moves`` clause: a copy of the machine with the
+        intercluster move latency inflated by the clause factor."""
+        for clause in self._matching("slow-moves", "*"):
+            slowed = max(1, int(round(machine.move_latency * clause.factor)))
+            self._record(
+                clause,
+                "*",
+                f"move latency {machine.move_latency} -> {slowed}",
+            )
+            machine = machine.with_move_latency(slowed)
+        return machine
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        clauses = "; ".join(str(c) for c in self.clauses)
+        return f"<fault plan seed={self.seed}: {clauses}>"
