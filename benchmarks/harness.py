@@ -26,15 +26,19 @@ LATENCIES: Tuple[int, ...] = (1, 5, 10)
 
 
 @lru_cache(maxsize=None)
-def prepared(name: str) -> PreparedProgram:
+def prepared(name: str, pointsto_tier: str = "andersen") -> PreparedProgram:
     bench = get_benchmark(name)
-    return PreparedProgram.from_source(bench.source, bench.name)
+    return PreparedProgram.from_source(
+        bench.source, bench.name, pointsto_tier=pointsto_tier
+    )
 
 
 @lru_cache(maxsize=None)
-def outcome(name: str, scheme: str, latency: int) -> SchemeOutcome:
+def outcome(
+    name: str, scheme: str, latency: int, pointsto_tier: str = "andersen"
+) -> SchemeOutcome:
     machine = two_cluster_machine(move_latency=latency)
-    return run_scheme(prepared(name), machine, scheme)
+    return run_scheme(prepared(name, pointsto_tier), machine, scheme)
 
 
 @lru_cache(maxsize=None)
@@ -67,6 +71,15 @@ def clear_caches() -> None:
     """Drop every cached prepared program and scheme outcome."""
     for fn in _CACHES:
         fn.cache_clear()
+
+
+@register_cache
+@lru_cache(maxsize=None)
+def pointsto_solution(name: str, pointsto_tier: str = "andersen"):
+    """The points-to solution annotating a prepared benchmark — cached so
+    the tiered solvers run once per (benchmark, tier) regardless of how
+    many schemes/figures consume the prepared program."""
+    return prepared(name, pointsto_tier).pointsto
 
 
 def relative_performance(name: str, scheme: str, latency: int) -> float:

@@ -114,6 +114,37 @@ for spec, expect_fallback in SPECS:
 sys.exit(1 if bad else 0)
 PY
 
+# -- 5. points-to refinement differ over the whole suite ----------------------
+# Every sharper tier must be a refinement of the tier below on every
+# benchmark (pts_cs ⊆ pts_field ⊆ pts_andersen per memory op), and every
+# tier must contain the objects the interpreter actually touches.
+
+note "points-to refinement differ (all benches x all tiers + dynamic oracle)"
+python - <<'PY' || failures=$((failures + 1))
+import sys
+
+from repro.bench import all_benchmarks
+from repro.lang import compile_source
+from repro.lint import diff_tiers
+from repro.profiler import Interpreter
+
+bad = 0
+for bench in all_benchmarks():
+    module = compile_source(bench.source, bench.name)
+    interp = Interpreter(module)
+    interp.run()
+    report = diff_tiers(module, profile=interp.profile)
+    avg = " ".join(
+        f"{t}={report.stats[t]['avg_set_size']}" for t in report.stats
+    )
+    status = "FAIL" if report.has_errors else "ok"
+    print(f"{status}: differ {bench.name}: {report.summary()} ({avg})")
+    if report.has_errors:
+        print(report.render_text())
+        bad += 1
+sys.exit(1 if bad else 0)
+PY
+
 if [ "$failures" -ne 0 ]; then
     note "$failures check group(s) failed"
     exit 1

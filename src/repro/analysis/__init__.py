@@ -10,10 +10,15 @@ from .liveness import Liveness
 from .loops import Loop, LoopInfo
 from .objects import DataObject, ObjectTable
 from .pointsto import (
+    TIERS,
     PointsTo,
+    PointsToResult,
+    PointsToStats,
+    TieredPointsTo,
     annotate_memory_ops,
     global_object_id,
     heap_object_id,
+    solve_pointsto,
 )
 
 __all__ = [
@@ -28,8 +33,13 @@ __all__ = [
     "LoopInfo",
     "DataObject",
     "ObjectTable",
+    "TIERS",
     "PointsTo",
+    "PointsToResult",
+    "PointsToStats",
+    "TieredPointsTo",
     "annotate_memory_ops",
     "global_object_id",
     "heap_object_id",
+    "solve_pointsto",
 ]

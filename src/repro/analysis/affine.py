@@ -14,9 +14,34 @@ accesses with identical symbolic parts and non-overlapping
 
 from __future__ import annotations
 
-from typing import Dict, Optional, Tuple
+from typing import Dict, Iterable, List, Optional, Tuple
 
 from ..ir import BasicBlock, Constant, GlobalAddress, Opcode, Operation, VirtualRegister
+
+
+def intervals_overlap(a: Tuple[int, int], b: Tuple[int, int]) -> bool:
+    """True when half-open byte intervals ``[lo, hi)`` share any byte."""
+    return a[0] < b[1] and b[0] < a[1]
+
+
+def coalesce_intervals(
+    intervals: Iterable[Tuple[int, int]],
+) -> List[Tuple[int, int]]:
+    """Merge *overlapping* half-open intervals, sorted by start.
+
+    Field-sensitive points-to uses the result as the canonical field/array
+    regions of an object: accesses that can touch the same bytes must
+    share one content node.  Merely *adjacent* intervals (``p[0]`` vs
+    ``p[1]``) stay distinct — that separation is what lets the field tier
+    keep the slots of a pointer table apart.
+    """
+    merged: List[Tuple[int, int]] = []
+    for lo, hi in sorted(intervals):
+        if merged and lo < merged[-1][1]:
+            merged[-1] = (merged[-1][0], max(merged[-1][1], hi))
+        else:
+            merged.append((lo, hi))
+    return merged
 
 
 class Affine:
@@ -56,6 +81,10 @@ class Affine:
     def same_symbolic(self, other: "Affine") -> bool:
         return self.terms == other.terms
 
+    def as_constant(self) -> Optional[int]:
+        """The form's integer value, or ``None`` if it has symbolic terms."""
+        return self.const if not self.terms else None
+
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         parts = [f"{c}*{t}" for t, c in self.terms.items()]
         parts.append(str(self.const))
@@ -67,6 +96,9 @@ class AffineAddresses:
 
     def __init__(self, block: BasicBlock):
         self.address_of: Dict[int, Affine] = {}  # op uid -> affine address
+        #: PTRADD op uid -> affine form of its offset operand; feeds the
+        #: field-sensitive points-to tier's offset classification.
+        self.ptradd_offset: Dict[int, Affine] = {}
         env: Dict[int, Affine] = {}  # vid -> current affine value
         fresh = 0
 
@@ -97,6 +129,8 @@ class AffineAddresses:
             if op.opcode is Opcode.MOV or op.opcode is Opcode.ICMOVE:
                 env[vid] = value_of(op.srcs[0])
             elif op.opcode is Opcode.ADD or op.opcode is Opcode.PTRADD:
+                if op.opcode is Opcode.PTRADD:
+                    self.ptradd_offset[op.uid] = value_of(op.srcs[1])
                 env[vid] = value_of(op.srcs[0]).add(value_of(op.srcs[1]))
             elif op.opcode is Opcode.SUB:
                 env[vid] = value_of(op.srcs[0]).add(value_of(op.srcs[1]).negate())

@@ -1,0 +1,325 @@
+"""cjpeg / djpeg — JPEG-style transform coding over component planes.
+
+The encoder runs a separable butterfly transform over 8x8 blocks of the
+Y/Cb/Cr planes, quantises with per-component tables, and packs a run/level
+stream; the decoder dequantises and inverse-transforms into output planes
+held in a struct.  Both are pointer-heavy in the way the paper's suite is:
+a component-pointer table (``int *planes[3]``), struct-of-pointer output
+buffers, and row-base helpers called per component — the access patterns
+that field- and context-sensitive points-to keep apart.
+"""
+
+from .registry import Benchmark, register
+
+CJPEG_SOURCE = """
+int W = 16;
+int H = 16;
+int ybuf[256];
+int cbbuf[256];
+int crbuf[256];
+int *planes[3];
+int lumqt[64];
+int chromqt[64];
+int block[64];
+int coeff[64];
+int runlevels[512];
+
+int *row_base(int *plane, int r) {
+  return plane + r * W;
+}
+
+void build_quant_tables() {
+  int i;
+  for (i = 0; i < 64; i = i + 1) {
+    int r = i / 8;
+    int c = i - r * 8;
+    lumqt[i] = 8 + r + c;
+    chromqt[i] = 12 + 2 * (r + c);
+  }
+}
+
+void fill_planes() {
+  int i;
+  int seed = 9157;
+  for (i = 0; i < W * H; i = i + 1) {
+    seed = (seed * 1103515245 + 12345) & 8388607;
+    ybuf[i] = (seed >> 12) & 255;
+    cbbuf[i] = (seed >> 6) & 255;
+    crbuf[i] = seed & 255;
+  }
+}
+
+void forward_block() {
+  /* Separable 4-point butterfly pairs per row, then per column: a stand-in
+     for the DCT with the same add/shift structure. */
+  int r;
+  int c;
+  for (r = 0; r < 8; r = r + 1) {
+    for (c = 0; c < 4; c = c + 1) {
+      int a = block[r * 8 + c];
+      int b = block[r * 8 + 7 - c];
+      block[r * 8 + c] = a + b;
+      block[r * 8 + 7 - c] = a - b;
+    }
+  }
+  for (c = 0; c < 8; c = c + 1) {
+    for (r = 0; r < 4; r = r + 1) {
+      int a = block[r * 8 + c];
+      int b = block[(7 - r) * 8 + c];
+      block[r * 8 + c] = (a + b) / 2;
+      block[(7 - r) * 8 + c] = (a - b) / 2;
+    }
+  }
+}
+
+int quantize_block(int *qt) {
+  int i;
+  int nz = 0;
+  for (i = 0; i < 64; i = i + 1) {
+    int q = block[i] / qt[i];
+    coeff[i] = q;
+    if (q != 0) { nz = nz + 1; }
+  }
+  return nz;
+}
+
+int pack_runlevels(int base) {
+  int i;
+  int run = 0;
+  int n = base;
+  for (i = 0; i < 64; i = i + 1) {
+    if (coeff[i] == 0) {
+      run = run + 1;
+    } else {
+      if (n < 510) {
+        runlevels[n] = run;
+        runlevels[n + 1] = coeff[i];
+        n = n + 2;
+      }
+      run = 0;
+    }
+  }
+  return n;
+}
+
+int encode_plane_luma() {
+  int bx;
+  int by;
+  int r;
+  int c;
+  int nz = 0;
+  int *luma = planes[0];
+  for (by = 0; by < H / 8; by = by + 1) {
+    for (bx = 0; bx < W / 8; bx = bx + 1) {
+      for (r = 0; r < 8; r = r + 1) {
+        int *row = row_base(luma, by * 8 + r);
+        for (c = 0; c < 8; c = c + 1) {
+          block[r * 8 + c] = row[bx * 8 + c] - 128;
+        }
+      }
+      forward_block();
+      nz = nz + quantize_block(lumqt);
+    }
+  }
+  return nz;
+}
+
+int main() {
+  int bx;
+  int by;
+  int r;
+  int c;
+  int i;
+  int nz = 0;
+  int n = 0;
+  planes[0] = ybuf;
+  planes[1] = cbbuf;
+  planes[2] = crbuf;
+  build_quant_tables();
+  fill_planes();
+
+  /* DC bias per component: direct derefs through the pointer table —
+     field-sensitivity keeps each slot's target distinct. */
+  int *yp = planes[0];
+  int *cbp = planes[1];
+  int *crp = planes[2];
+  int ybias = 0;
+  int cbias = 0;
+  for (i = 0; i < W * H; i = i + 1) {
+    ybias = ybias + yp[i];
+  }
+  for (i = 0; i < W * H; i = i + 1) {
+    cbias = cbias + cbp[i] + crp[i];
+  }
+  ybias = ybias / (W * H);
+  cbias = cbias / (2 * W * H);
+
+  /* Luma blocks through the component-pointer table. */
+  nz = nz + encode_plane_luma();
+  n = pack_runlevels(n);
+
+  /* Each chroma component in its own pass, via its own call site. */
+  for (by = 0; by < H / 8; by = by + 1) {
+    for (bx = 0; bx < W / 8; bx = bx + 1) {
+      for (r = 0; r < 8; r = r + 1) {
+        int *cbrow = row_base(cbbuf, by * 8 + r);
+        for (c = 0; c < 8; c = c + 1) {
+          block[r * 8 + c] = cbrow[bx * 8 + c] - cbias;
+        }
+      }
+      forward_block();
+      nz = nz + quantize_block(chromqt);
+      n = pack_runlevels(n);
+    }
+  }
+  for (by = 0; by < H / 8; by = by + 1) {
+    for (bx = 0; bx < W / 8; bx = bx + 1) {
+      for (r = 0; r < 8; r = r + 1) {
+        int *crrow = row_base(crbuf, by * 8 + r);
+        for (c = 0; c < 8; c = c + 1) {
+          block[r * 8 + c] = crrow[bx * 8 + c] - cbias;
+        }
+      }
+      forward_block();
+      nz = nz + quantize_block(chromqt);
+      n = pack_runlevels(n);
+    }
+  }
+
+  int sum = ybias;
+  for (i = 0; i < n; i = i + 1) {
+    sum = (sum * 31 + runlevels[i]) & 16777215;
+  }
+  print_int(nz);
+  print_int(n);
+  print_int(sum);
+  return sum;
+}
+"""
+
+DJPEG_SOURCE = """
+int W = 16;
+int H = 16;
+int coeffs[256];
+int lumqt[64];
+int chromqt[64];
+int block[64];
+struct outbufs { int *lum; int *chrom; };
+struct outbufs out;
+
+int *block_base(int *plane, int b) {
+  return plane + b * 64;
+}
+
+void build_quant_tables() {
+  int i;
+  for (i = 0; i < 64; i = i + 1) {
+    int r = i / 8;
+    int c = i - r * 8;
+    lumqt[i] = 8 + r + c;
+    chromqt[i] = 12 + 2 * (r + c);
+  }
+}
+
+void fill_coeffs() {
+  int i;
+  int seed = 20077;
+  for (i = 0; i < W * H; i = i + 1) {
+    seed = (seed * 69069 + 1) & 8388607;
+    int v = (seed >> 10) & 31;
+    if ((seed & 3) != 0) { v = 0; }
+    coeffs[i] = v - 15;
+  }
+}
+
+void dequantize_block(int b, int *qt) {
+  int i;
+  for (i = 0; i < 64; i = i + 1) {
+    block[i] = coeffs[b * 64 + i] * qt[i];
+  }
+}
+
+void inverse_block() {
+  int r;
+  int c;
+  for (c = 0; c < 8; c = c + 1) {
+    for (r = 0; r < 4; r = r + 1) {
+      int a = block[r * 8 + c];
+      int b = block[(7 - r) * 8 + c];
+      block[r * 8 + c] = a + b;
+      block[(7 - r) * 8 + c] = a - b;
+    }
+  }
+  for (r = 0; r < 8; r = r + 1) {
+    for (c = 0; c < 4; c = c + 1) {
+      int a = block[r * 8 + c];
+      int b = block[r * 8 + 7 - c];
+      block[r * 8 + c] = (a + b) / 2;
+      block[r * 8 + 7 - c] = (a - b) / 2;
+    }
+  }
+}
+
+int main() {
+  int b;
+  int i;
+  out.lum = malloc(W * H * sizeof(int));
+  out.chrom = malloc(W * H * sizeof(int));
+  build_quant_tables();
+  fill_coeffs();
+
+  /* First half of the blocks are luma, second half chroma; each side
+     writes through its own struct-field pointer. */
+  int nblocks = W * H / 64;
+  for (b = 0; b < nblocks / 2; b = b + 1) {
+    dequantize_block(b, lumqt);
+    inverse_block();
+    int *dst = block_base(out.lum, b);
+    for (i = 0; i < 64; i = i + 1) {
+      int v = block[i] + 128;
+      if (v < 0) { v = 0; }
+      if (v > 255) { v = 255; }
+      dst[i] = v;
+    }
+  }
+  for (b = nblocks / 2; b < nblocks; b = b + 1) {
+    dequantize_block(b, chromqt);
+    inverse_block();
+    int *dst = block_base(out.chrom, b - nblocks / 2);
+    for (i = 0; i < 64; i = i + 1) {
+      int v = block[i] + 128;
+      if (v < 0) { v = 0; }
+      if (v > 255) { v = 255; }
+      dst[i] = v;
+    }
+  }
+
+  int *lum = out.lum;
+  int *chrom = out.chrom;
+  int sum = 0;
+  for (i = 0; i < W * H / 2; i = i + 1) {
+    sum = (sum + lum[i] * 3 + chrom[i]) & 16777215;
+  }
+  print_int(nblocks);
+  print_int(sum);
+  return sum;
+}
+"""
+
+register(
+    Benchmark(
+        "cjpeg",
+        CJPEG_SOURCE,
+        "JPEG-style encoder: block transform, quantise, run/level pack",
+        "mediabench",
+    )
+)
+
+register(
+    Benchmark(
+        "djpeg",
+        DJPEG_SOURCE,
+        "JPEG-style decoder: dequantise and inverse transform into planes",
+        "mediabench",
+    )
+)

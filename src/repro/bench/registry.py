@@ -74,6 +74,19 @@ def _ensure_loaded() -> None:
     global _loaded
     if _loaded:
         return
-    from . import adpcm, dsp, epic, fftbench, g721, gsm, huffman, mpeg2, pegwit, viterbi  # noqa: F401
+    from . import (  # noqa: F401
+        adpcm,
+        dsp,
+        epic,
+        fftbench,
+        g721,
+        gsm,
+        huffman,
+        jpeg,
+        mpeg2,
+        pegwit,
+        unepic,
+        viterbi,
+    )
 
     _loaded = True

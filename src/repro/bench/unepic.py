@@ -1,0 +1,116 @@
+"""unepic — EPIC image-pyramid reconstruction (decoder side of ``epic``).
+
+Unquantises the coded subbands and runs the inverse lowpass filters to
+rebuild the image, level by level.  The pyramid levels live in a
+struct-of-pointers (``low``/``high`` band buffers) over malloc'd storage,
+and the band-pointer helper is called once per subband — the decoder-side
+pointer idioms the precision-tiered points-to analysis is built for.
+"""
+
+from .registry import Benchmark, register
+
+UNEPIC_SOURCE = """
+int W = 16;
+int H = 16;
+int codes0[256];
+int codes1[64];
+int quant_step = 6;
+struct level { int *low; int *high; };
+struct level lev0;
+struct level lev1;
+
+int *band_ptr(int *base, int off) {
+  return base + off;
+}
+
+void fill_codes() {
+  int i;
+  int seed = 31121;
+  for (i = 0; i < W * H; i = i + 1) {
+    seed = (seed * 1103515245 + 12345) & 8388607;
+    int v = (seed >> 13) & 15;
+    if ((seed & 7) < 5) { v = 0; }
+    codes0[i] = v - 8;
+  }
+  for (i = 0; i < (W / 2) * (H / 2); i = i + 1) {
+    seed = (seed * 69069 + 1) & 8388607;
+    codes1[i] = ((seed >> 11) & 7) - 4;
+  }
+}
+
+void unquantize(int *codes, int *band, int n) {
+  int i;
+  for (i = 0; i < n; i = i + 1) {
+    int c = codes[i];
+    int v = c * quant_step;
+    if (c > 0) { v = v + quant_step / 2; }
+    if (c < 0) { v = v - quant_step / 2; }
+    band[i] = v;
+  }
+}
+
+void interpolate_rows(int *src, int *dst, int w, int h) {
+  int r;
+  int c;
+  for (r = 0; r < h; r = r + 1) {
+    for (c = 0; c < w - 1; c = c + 1) {
+      int a = src[r * w + c];
+      int b = src[r * w + c + 1];
+      dst[r * w + c] = (a + b) / 2;
+    }
+    dst[r * w + w - 1] = src[r * w + w - 1];
+  }
+}
+
+int main() {
+  int i;
+  lev0.low = malloc(W * H * sizeof(int));
+  lev0.high = malloc(W * H * sizeof(int));
+  lev1.low = malloc((W / 2) * (H / 2) * sizeof(int));
+  lev1.high = malloc((W / 2) * (H / 2) * sizeof(int));
+  fill_codes();
+
+  /* Coarse level first: unquantise, smooth, then add the detail band. */
+  int *l1low = lev1.low;
+  int *l1high = lev1.high;
+  unquantize(codes1, l1high, (W / 2) * (H / 2));
+  interpolate_rows(l1high, l1low, W / 2, H / 2);
+  for (i = 0; i < (W / 2) * (H / 2); i = i + 1) {
+    l1low[i] = l1low[i] + l1high[i] / 2;
+  }
+
+  /* Full-resolution level: expand the coarse band into the low buffer,
+     unquantise the detail codes into the high buffer, and sum. */
+  int *l0low = band_ptr(lev0.low, 0);
+  int *l0high = band_ptr(lev0.high, 0);
+  unquantize(codes0, l0high, W * H);
+  int r;
+  int c;
+  for (r = 0; r < H; r = r + 1) {
+    for (c = 0; c < W; c = c + 1) {
+      int v = l1low[(r / 2) * (W / 2) + c / 2];
+      l0low[r * W + c] = v + l0high[r * W + c];
+    }
+  }
+  interpolate_rows(l0low, l0high, W, H);
+
+  int sum = 0;
+  int nz = 0;
+  for (i = 0; i < W * H; i = i + 1) {
+    sum = (sum + l0low[i] * 5 + l0high[i]) & 16777215;
+    if (l0low[i] != 0) { nz = nz + 1; }
+  }
+  print_int(nz);
+  print_int(sum);
+  return sum;
+}
+"""
+
+register(
+    Benchmark(
+        "unepic",
+        UNEPIC_SOURCE,
+        "EPIC pyramid reconstruction: unquantise and inverse filters",
+        "mediabench",
+    )
+)

@@ -58,6 +58,16 @@ def _add_machine_flags(parser: argparse.ArgumentParser) -> None:
                         help="intercluster move latency (default 5)")
 
 
+def _add_pointsto_flag(parser: argparse.ArgumentParser) -> None:
+    from .analysis import TIERS
+
+    parser.add_argument("--pointsto", default="andersen", choices=list(TIERS),
+                        help="points-to precision tier annotating the "
+                        "memory ops (default andersen; field adds "
+                        "field-sensitivity, cs adds 1-CFA call-site "
+                        "context sensitivity on top)")
+
+
 def _add_resilience_flags(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--max-seconds", type=float, default=None,
                         metavar="S",
@@ -148,7 +158,14 @@ def _run(args) -> int:
 
 
 def _prepared_from_args(args) -> PreparedProgram:
-    return PreparedProgram.from_source(_read_source(args.file), args.name)
+    return PreparedProgram.from_source(
+        _read_source(args.file), args.name,
+        pointsto_tier=getattr(args, "pointsto", "andersen"),
+    )
+
+
+def _print_precision(prepared: PreparedProgram) -> None:
+    print(f"pointsto: {prepared.pointsto.stats().describe()}")
 
 
 def _partition(args) -> int:
@@ -165,6 +182,7 @@ def _partition(args) -> int:
         print(exc)
         return 1
     print(f"scheme:  {args.scheme}")
+    _print_precision(prepared)
     print(f"cycles:  {outcome.cycles:.0f}")
     print(f"dynamic intercluster moves: {outcome.dynamic_moves:.0f}")
     if outcome.object_home:
@@ -192,11 +210,15 @@ def _partition_resilient(args, prepared) -> int:
         if exc.run_report is not None:
             _save_run_report(args, exc.run_report)
         return 1
+    result.report.record_pointsto(
+        prepared.pointsto_tier, prepared.pointsto.stats().to_dict()
+    )
     scheme = result.scheme
     if result.fell_back:
         print(f"scheme:  {scheme} (fallback from {result.requested})")
     else:
         print(f"scheme:  {scheme}")
+    _print_precision(prepared)
     print(f"cycles:  {result.cycles:.0f}")
     print(f"dynamic intercluster moves: {result.dynamic_moves:.0f}")
     summary = result.report.to_dict()["summary"]
@@ -216,6 +238,9 @@ def _compare_resilient(args, prepared) -> int:
 
     pipe = _resilient_pipeline(args)
     report = RunReport()
+    report.record_pointsto(
+        prepared.pointsto_tier, prepared.pointsto.stats().to_dict()
+    )
     try:
         outcomes = pipe.run_all(prepared, report=report)
     except LadderExhausted as exc:
@@ -232,6 +257,7 @@ def _compare_resilient(args, prepared) -> int:
             f"{base / out.cycles:.3f}" if out.cycles else "-",
             f"{out.dynamic_moves:.0f}",
         ])
+    _print_precision(prepared)
     print(format_table(
         ["scheme", "ran as", "cycles", "vs unified", "dyn moves"], rows
     ))
@@ -261,6 +287,7 @@ def _compare(args) -> int:
             f"{base / out.cycles:.3f}" if out.cycles else "-",
             f"{out.dynamic_moves:.0f}",
         ])
+    _print_precision(prepared)
     print(format_table(["scheme", "cycles", "vs unified", "dyn moves"], rows))
     return 0
 
@@ -278,7 +305,13 @@ def _resolve_lint_path(path: str) -> str:
 
 
 def _lint(args) -> int:
-    from .lint import Severity, check_scheme_outcome, lint_module
+    from .lint import (
+        DETERMINISTIC_COLUMNS,
+        Severity,
+        check_scheme_outcome,
+        lint_module,
+        tier_solutions,
+    )
 
     module = compile_source(
         _read_source(_resolve_lint_path(args.file)), args.name,
@@ -289,22 +322,45 @@ def _lint(args) -> int:
 
         optimize_module(module)
 
+    profile = None
+    if args.dynamic_oracle:
+        # The oracle joins on op uids, so interpret the exact module
+        # instance being linted (not a recompile).
+        interp = Interpreter(module, max_steps=args.max_steps)
+        interp.run()
+        profile = interp.profile
+
     machine = two_cluster_machine(move_latency=args.latency)
     try:
-        report = lint_module(module, machine=machine, only=args.only or None)
+        report = lint_module(
+            module, machine=machine, only=args.only or None, profile=profile
+        )
     except ValueError as exc:  # unknown pass name in --only
         print(exc, file=sys.stderr)
         return 2
 
+    # Per-tier precision stats ride on the report (deterministic columns
+    # only, so --format json output is byte-stable across runs).
+    for tier, solution in tier_solutions(module).items():
+        stats = solution.stats().to_dict()
+        report.stats[tier] = {c: stats[c] for c in DETERMINISTIC_COLUMNS}
+
     if args.verify_partition:
         prepared = PreparedProgram.from_source(
-            _read_source(_resolve_lint_path(args.file)), args.name
+            _read_source(_resolve_lint_path(args.file)), args.name,
+            pointsto_tier=args.pointsto,
         )
         pipe = Pipeline(machine)
         outcome = pipe.run(prepared, args.scheme)
         report.extend(check_scheme_outcome(prepared, outcome))
 
-    print(report.to_json() if args.json else report.render_text())
+    fmt = "json" if args.json else args.format
+    if fmt == "json":
+        print(report.to_json())
+    elif fmt == "sarif":
+        print(report.to_sarif())
+    else:
+        print(report.render_text())
     if report.has_errors:
         return 1
     if args.strict and any(
@@ -322,12 +378,15 @@ def _bench(args) -> int:
         print(format_table(["benchmark", "category", "description"], rows))
         return 0
     bench = get_benchmark(args.name)
-    prepared = PreparedProgram.from_source(bench.source, bench.name)
+    prepared = PreparedProgram.from_source(
+        bench.source, bench.name, pointsto_tier=args.pointsto
+    )
     pipe = Pipeline(two_cluster_machine(move_latency=args.latency))
     rel = pipe.compare(prepared, schemes=("gdp", "profilemax", "naive"))
     rows = [[scheme, f"{value:.3f}"] for scheme, value in rel.items()]
     print(f"{bench.name} @ {args.latency}-cycle move latency "
           f"(relative to unified memory):")
+    _print_precision(prepared)
     print(format_table(["scheme", "vs unified"], rows))
     return 0
 
@@ -365,6 +424,7 @@ def build_parser() -> argparse.ArgumentParser:
                    help="check every phase output against the paper's "
                    "invariants (fails on any violation)")
     _add_machine_flags(p)
+    _add_pointsto_flag(p)
     _add_resilience_flags(p)
     p.set_defaults(func=_partition)
 
@@ -374,12 +434,14 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--verify-partition", action="store_true",
                    help="validate each scheme's phase outputs while running")
     _add_machine_flags(p)
+    _add_pointsto_flag(p)
     _add_resilience_flags(p)
     p.set_defaults(func=_compare)
 
     p = sub.add_parser("bench", help="list or evaluate bundled benchmarks")
     p.add_argument("name", nargs="?", default=None)
     _add_machine_flags(p)
+    _add_pointsto_flag(p)
     p.set_defaults(func=_bench)
 
     p = sub.add_parser(
@@ -391,7 +453,18 @@ def build_parser() -> argparse.ArgumentParser:
                    "examples/*.py script with a SOURCE block")
     p.add_argument("--name", default="program")
     p.add_argument("--json", action="store_true",
-                   help="machine-readable report (stable ordering)")
+                   help="machine-readable report (stable ordering); "
+                   "alias for --format json")
+    p.add_argument("--format", default="text",
+                   choices=["text", "json", "sarif"],
+                   help="report format: human text, stable JSON, or "
+                   "SARIF 2.1.0 for CI annotation tooling")
+    p.add_argument("--dynamic-oracle", action="store_true",
+                   help="interpret the program and check every "
+                   "profiler-observed memory target against every "
+                   "points-to tier (refinement differ oracle)")
+    p.add_argument("--max-steps", type=int, default=50_000_000,
+                   help="interpreter step budget for --dynamic-oracle")
     p.add_argument("--strict", action="store_true",
                    help="exit non-zero on warnings too, not just errors")
     p.add_argument("--only", action="append", metavar="PASS",
@@ -404,6 +477,7 @@ def build_parser() -> argparse.ArgumentParser:
                    help="scheme for --verify-partition (default gdp)")
     _add_compile_flags(p)
     _add_machine_flags(p)
+    _add_pointsto_flag(p)
     p.set_defaults(func=_lint)
 
     return parser

@@ -28,6 +28,13 @@ from .runner import (
     register_pass,
 )
 from . import irlint  # noqa: F401  (imports register the default passes)
+from .ptdiff import (
+    DETERMINISTIC_COLUMNS,
+    RefinementDifferPass,
+    diff_tiers,
+    precision_table,
+    tier_solutions,
+)
 from .partcheck import (
     check_data_partition,
     check_memory_locks,
@@ -49,6 +56,11 @@ __all__ = [
     "default_passes",
     "lint_module",
     "register_pass",
+    "DETERMINISTIC_COLUMNS",
+    "RefinementDifferPass",
+    "diff_tiers",
+    "precision_table",
+    "tier_solutions",
     "check_data_partition",
     "check_memory_locks",
     "check_moves",

@@ -34,6 +34,19 @@ _SEVERITY_RANK: Dict[Severity, int] = {
     Severity.INFO: 2,
 }
 
+#: SARIF result levels for each severity.
+_SARIF_LEVEL: Dict[Severity, str] = {
+    Severity.ERROR: "error",
+    Severity.WARNING: "warning",
+    Severity.INFO: "note",
+}
+
+
+def _render_stat(value: Any) -> str:
+    if isinstance(value, dict):
+        return "  ".join(f"{k}={value[k]}" for k in sorted(value))
+    return str(value)
+
 
 class Diagnostic:
     """One finding: severity, rule id, location, message, and fix hint.
@@ -106,6 +119,10 @@ class DiagnosticReport:
 
     def __init__(self, diagnostics: Optional[Iterable[Diagnostic]] = None):
         self.diagnostics: List[Diagnostic] = list(diagnostics or [])
+        #: Optional analysis observability payload rendered alongside the
+        #: findings (e.g. per-tier points-to precision stats keyed by tier
+        #: name).  Empty by default so existing renderings are unchanged.
+        self.stats: Dict[str, Any] = {}
 
     # -- building ---------------------------------------------------------------
 
@@ -135,6 +152,7 @@ class DiagnosticReport:
 
     def extend(self, other: "DiagnosticReport") -> "DiagnosticReport":
         self.diagnostics.extend(other.diagnostics)
+        self.stats.update(other.stats)
         return self
 
     # -- queries ----------------------------------------------------------------
@@ -181,19 +199,25 @@ class DiagnosticReport:
             self.diagnostics,
             key=lambda d: (d.severity.rank, d.location(), d.rule),
         )
-        return DiagnosticReport(ordered)
+        copy = DiagnosticReport(ordered)
+        copy.stats = dict(self.stats)
+        return copy
 
     def render_text(self) -> str:
+        lines: List[str] = []
         if not self.diagnostics:
-            return "no diagnostics"
-        lines = [d.render() for d in self.sorted()]
-        lines.append(self.summary())
+            lines.append("no diagnostics")
+        else:
+            lines.extend(d.render() for d in self.sorted())
+            lines.append(self.summary())
+        for key in sorted(self.stats):
+            lines.append(f"stats[{key}]: {_render_stat(self.stats[key])}")
         return "\n".join(lines)
 
     def to_json(self, indent: int = 2) -> str:
         """Deterministic JSON: diagnostics sorted as in the text report,
         dict keys sorted."""
-        payload = {
+        payload: Dict[str, Any] = {
             "diagnostics": [d.to_dict() for d in self.sorted()],
             "summary": {
                 "errors": len(self.errors),
@@ -201,7 +225,66 @@ class DiagnosticReport:
                 "total": len(self.diagnostics),
             },
         }
+        if self.stats:
+            payload["stats"] = self.stats
         return json.dumps(payload, indent=indent, sort_keys=True)
+
+    def to_sarif(self, indent: int = 2) -> str:
+        """Render as a minimal SARIF 2.1.0 log (one run, one result per
+        diagnostic) for CI annotation tooling.
+
+        IR locations have no source file, so each result carries its
+        ``func/block`` location as a logicalLocation and the operation
+        text, when known, in the message.
+        """
+        rules: List[Dict[str, Any]] = [
+            {"id": rule} for rule in sorted({d.rule for d in self.diagnostics})
+        ]
+        results: List[Dict[str, Any]] = []
+        for d in self.sorted():
+            message = d.message
+            if d.op:
+                message = f"{message} [{d.op}]"
+            if d.hint:
+                message = f"{message} (hint: {d.hint})"
+            result: Dict[str, Any] = {
+                "ruleId": d.rule,
+                "level": _SARIF_LEVEL[d.severity],
+                "message": {"text": message},
+                "locations": [
+                    {
+                        "logicalLocations": [
+                            {
+                                "fullyQualifiedName": d.location(),
+                                "kind": "function",
+                            }
+                        ]
+                    }
+                ],
+            }
+            if d.phase is not None:
+                result["properties"] = {"phase": d.phase}
+            results.append(result)
+        log = {
+            "$schema": (
+                "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/"
+                "master/Schemata/sarif-schema-2.1.0.json"
+            ),
+            "version": "2.1.0",
+            "runs": [
+                {
+                    "tool": {
+                        "driver": {
+                            "name": "repro-lint",
+                            "informationUri": "https://example.invalid/repro",
+                            "rules": rules,
+                        }
+                    },
+                    "results": results,
+                }
+            ],
+        }
+        return json.dumps(log, indent=indent, sort_keys=True)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"<report: {self.summary()}>"

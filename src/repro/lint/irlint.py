@@ -11,6 +11,7 @@ Rules
 ``unused-global``        a module global no operation ever references
 ``pointsto-unknown``     a memory access whose target set is empty
 ``pointsto-imprecise``   a memory access that may touch every data object
+``pointsto-tier-delta``  a sharper points-to tier shrinks some target sets
 """
 
 from __future__ import annotations
@@ -271,6 +272,8 @@ class PointsToPrecisionPass(LintPass):
     description = "empty or may-touch-everything memory target sets"
 
     def run(self, ctx: LintContext) -> Iterator[Diagnostic]:
+        from ..analysis.pointsto import TIERS
+
         pts = ctx.pointsto()
         table = ctx.objects()
         total = len(table)
@@ -298,3 +301,37 @@ class PointsToPrecisionPass(LintPass):
                             hint="the access-pattern merge will fuse every "
                             "object into one group, defeating GDP",
                         )
+        # Per-tier precision deltas: how many per-op target sets each
+        # sharper tier shrinks relative to the baseline, and by how much.
+        # Reported only when a tier actually wins, so clean programs (and
+        # programs where precision is already maxed out) stay silent.
+        base_sets = {}
+        for func in ctx.module:
+            for op in func.operations():
+                if op.is_memory_access():
+                    base_sets[(func.name, op.uid)] = pts.objects_for_op(
+                        func.name, op
+                    )
+        for tier in TIERS[1:]:
+            sharp = ctx.pointsto(tier)
+            shrunk = 0
+            dropped = 0
+            for func in ctx.module:
+                for op in func.operations():
+                    if not op.is_memory_access():
+                        continue
+                    objs = sharp.objects_for_op(func.name, op)
+                    base = base_sets[(func.name, op.uid)]
+                    if len(objs) < len(base):
+                        shrunk += 1
+                        dropped += len(base) - len(objs)
+            if shrunk:
+                yield Diagnostic(
+                    Severity.INFO, "pointsto-tier-delta",
+                    f"tier {tier!r} shrinks {shrunk} memory-op target "
+                    f"set(s), dropping {dropped} spurious target(s) vs "
+                    f"tier 'andersen'",
+                    hint=f"partition with --pointsto {tier} to use the "
+                    "sharper sets",
+                    phase="pointsto",
+                )

@@ -16,23 +16,35 @@ from ..analysis.defuse import DefUse
 from ..analysis.dominators import DominatorTree
 from ..analysis.liveness import Liveness
 from ..analysis.objects import ObjectTable
-from ..analysis.pointsto import PointsTo
+from ..analysis.pointsto import PointsToResult, solve_pointsto
 from ..ir import Function, Module
 from ..machine import Machine
 from .diagnostics import Diagnostic, DiagnosticReport
 
 
 class LintContext:
-    """Per-module analysis cache handed to every lint pass."""
+    """Per-module analysis cache handed to every lint pass.
 
-    def __init__(self, module: Module, machine: Optional[Machine] = None):
+    ``profile`` is an optional :class:`repro.profiler.ProfileData`
+    gathered by interpreting *this very module instance* — the refinement
+    differ uses it as a dynamic under-approximation oracle (op uids must
+    match, so a profile of any other module copy would be meaningless).
+    """
+
+    def __init__(
+        self,
+        module: Module,
+        machine: Optional[Machine] = None,
+        profile=None,
+    ):
         self.module = module
         self.machine = machine
+        self.profile = profile
         self._cfg: Dict[str, CFG] = {}
         self._dom: Dict[str, DominatorTree] = {}
         self._defuse: Dict[str, DefUse] = {}
         self._liveness: Dict[str, Liveness] = {}
-        self._pointsto: Optional[PointsTo] = None
+        self._pointsto: Dict[str, PointsToResult] = {}
         self._objects: Optional[ObjectTable] = None
 
     def cfg(self, func: Function) -> CFG:
@@ -55,10 +67,10 @@ class LintContext:
             self._liveness[func.name] = Liveness(func, self.cfg(func))
         return self._liveness[func.name]
 
-    def pointsto(self) -> PointsTo:
-        if self._pointsto is None:
-            self._pointsto = PointsTo(self.module)
-        return self._pointsto
+    def pointsto(self, tier: str = "andersen") -> PointsToResult:
+        if tier not in self._pointsto:
+            self._pointsto[tier] = solve_pointsto(self.module, tier)
+        return self._pointsto[tier]
 
     def objects(self) -> ObjectTable:
         if self._objects is None:
@@ -111,6 +123,7 @@ class LintRunner:
         passes: Optional[Iterable[LintPass]] = None,
         only: Optional[Iterable[str]] = None,
         machine: Optional[Machine] = None,
+        profile=None,
     ):
         if passes is not None:
             self.passes = list(passes)
@@ -126,13 +139,14 @@ class LintRunner:
         else:
             self.passes = default_passes()
         self.machine = machine
+        self.profile = profile
 
     def register(self, lint_pass: LintPass) -> "LintRunner":
         self.passes.append(lint_pass)
         return self
 
     def run(self, module: Module) -> DiagnosticReport:
-        ctx = LintContext(module, self.machine)
+        ctx = LintContext(module, self.machine, profile=self.profile)
         report = DiagnosticReport()
         for lint_pass in self.passes:
             report.diagnostics.extend(lint_pass.run(ctx))
@@ -143,6 +157,7 @@ def lint_module(
     module: Module,
     machine: Optional[Machine] = None,
     only: Optional[Iterable[str]] = None,
+    profile=None,
 ) -> DiagnosticReport:
     """Run the default (or a named subset of) lint passes over ``module``."""
-    return LintRunner(only=only, machine=machine).run(module)
+    return LintRunner(only=only, machine=machine, profile=profile).run(module)

@@ -27,6 +27,7 @@ class Pipeline:
         gdp_config: Optional[GDPConfig] = None,
         rhop_config: Optional[RHOPConfig] = None,
         validate: bool = False,
+        pointsto_tier: str = "andersen",
     ):
         self.machine = machine or two_cluster_machine()
         self.gdp_config = gdp_config
@@ -35,9 +36,13 @@ class Pipeline:
         #: invariants; :class:`repro.lint.PartitionValidityError` is raised
         #: at the first violating phase.
         self.validate = validate
+        #: Points-to precision tier used by :meth:`prepare`.
+        self.pointsto_tier = pointsto_tier
 
     def prepare(self, source: str, name: str = "program") -> PreparedProgram:
-        return PreparedProgram.from_source(source, name)
+        return PreparedProgram.from_source(
+            source, name, pointsto_tier=self.pointsto_tier
+        )
 
     def run(
         self,

@@ -9,7 +9,12 @@ from __future__ import annotations
 
 from typing import Callable, Dict, Optional
 
-from ..analysis import ObjectTable, PointsTo, ProgramGraph, annotate_memory_ops
+from ..analysis import (
+    ObjectTable,
+    PointsToResult,
+    ProgramGraph,
+    annotate_memory_ops,
+)
 from ..ir import Module, clone_module, verify_module
 from ..lang import compile_source
 from ..partition.merges import MergeResult, access_pattern_merge
@@ -17,13 +22,20 @@ from ..profiler import Interpreter, ProfileData
 
 
 class PreparedProgram:
-    """A compiled, profiled, annotated program ready for partitioning."""
+    """A compiled, profiled, annotated program ready for partitioning.
+
+    ``pointsto_tier`` selects the precision tier of the points-to solve
+    that annotates the memory ops (``"andersen"`` | ``"field"`` |
+    ``"cs"``); everything downstream — object table, access-pattern
+    merge, GDP, memory locks — consumes the chosen tier's annotations.
+    """
 
     def __init__(
         self,
         module: Module,
         profile: Optional[ProfileData] = None,
         max_steps: int = 50_000_000,
+        pointsto_tier: str = "andersen",
     ):
         self.module = module
         if profile is None:
@@ -33,7 +45,10 @@ class PreparedProgram:
         else:
             self.result = None
         self.profile = profile
-        self.pointsto: PointsTo = annotate_memory_ops(module)
+        self.pointsto_tier = pointsto_tier
+        self.pointsto: PointsToResult = annotate_memory_ops(
+            module, tier=pointsto_tier
+        )
         self.objects = ObjectTable(module, dict(profile.heap_sizes))
         self.block_freq: Callable[[str, str], float] = profile.frequency_fn()
         self.program_graph = ProgramGraph(module, self.block_freq)
@@ -54,6 +69,7 @@ class PreparedProgram:
         unroll_factor: Optional[int] = None,
         if_convert: bool = True,
         optimize: bool = True,
+        pointsto_tier: str = "andersen",
     ) -> "PreparedProgram":
         """Compile MiniC source — with if-conversion, loop unrolling and
         scalar optimization by default, recovering the region-level ILP
@@ -68,7 +84,7 @@ class PreparedProgram:
             from ..opt import optimize_module
 
             optimize_module(module)
-        return cls(module, max_steps=max_steps)
+        return cls(module, max_steps=max_steps, pointsto_tier=pointsto_tier)
 
     # -- per-scheme working copies -------------------------------------------------
 

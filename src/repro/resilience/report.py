@@ -117,6 +117,12 @@ class RunReport:
     def record_budget(self, scheme: str, detail: str) -> None:
         self._event("budget", scheme=scheme, detail=detail)
 
+    def record_pointsto(self, tier: str, stats: Dict[str, Any]) -> None:
+        """Record the points-to precision stats the run was prepared with
+        (one event per solved tier; ``stats`` as from
+        :meth:`PointsToStats.to_dict`)."""
+        self._event("pointsto", tier=tier, stats=dict(stats))
+
     def record_final(self, requested: str, scheme: Optional[str], status: str) -> None:
         self._event(
             "final",
@@ -180,6 +186,14 @@ class RunReport:
                         copy[key] = 0.0
                 if "phases" in copy:
                     copy["phases"] = {name: 0.0 for name in copy["phases"]}
+                if "stats" in copy:
+                    # Solver wall clock and worklist pop count depend on
+                    # hash seed / machine; zero them like other timings.
+                    stats = dict(copy["stats"])
+                    for key in ("solve_seconds", "solver_iterations"):
+                        if key in stats:
+                            stats[key] = 0
+                    copy["stats"] = stats
             events.append(copy)
         summary = {
             "attempts": len(self.attempts()),

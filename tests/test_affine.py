@@ -1,6 +1,11 @@
 """Tests for the affine address analysis used in memory disambiguation."""
 
-from repro.analysis.affine import Affine, AffineAddresses
+from repro.analysis.affine import (
+    Affine,
+    AffineAddresses,
+    coalesce_intervals,
+    intervals_overlap,
+)
 from repro.ir import Constant, Function, GlobalAddress, IRBuilder, Opcode
 from repro.ir.types import FLOAT, INT, ArrayType, PointerType
 from repro.lang import compile_source
@@ -42,6 +47,107 @@ class TestAffineForms:
         x, y = Affine.atom("x"), Affine.atom("y")
         assert x.add(Affine.constant(1)).same_symbolic(x.add(Affine.constant(9)))
         assert not x.same_symbolic(y)
+
+    def test_as_constant(self):
+        assert Affine.constant(7).as_constant() == 7
+        assert Affine.atom("x").as_constant() is None
+        x = Affine.atom("x")
+        assert x.add(x.negate()).add(Affine.constant(3)).as_constant() == 3
+
+
+class TestOffsetClassification:
+    """The interval helpers the field-sensitive points-to tier uses to
+    carve a global into content regions."""
+
+    def test_overlap_predicate(self):
+        assert intervals_overlap((0, 8), (4, 12))
+        assert intervals_overlap((4, 12), (0, 8))
+        assert intervals_overlap((0, 8), (2, 4))  # containment
+        # Adjacency is NOT overlap: p[0] and p[1] touch but don't share.
+        assert not intervals_overlap((0, 4), (4, 8))
+        assert not intervals_overlap((0, 4), (8, 12))
+        assert not intervals_overlap((0, 0), (0, 4))  # empty interval
+
+    def test_overlapping_intervals_merge(self):
+        assert coalesce_intervals([(0, 8), (4, 12), (20, 24)]) == [
+            (0, 12),
+            (20, 24),
+        ]
+
+    def test_adjacent_intervals_stay_separate(self):
+        """Distinct array slots ([0,4) and [4,8)) must remain distinct
+        regions or field sensitivity could never split a pointer table."""
+        assert coalesce_intervals([(4, 8), (0, 4)]) == [(0, 4), (4, 8)]
+
+    def test_contained_interval_absorbed(self):
+        assert coalesce_intervals([(0, 16), (4, 8)]) == [(0, 16)]
+
+    def test_chain_of_overlaps_collapses(self):
+        assert coalesce_intervals([(0, 6), (4, 10), (8, 14)]) == [(0, 14)]
+
+    def test_empty_input(self):
+        assert coalesce_intervals([]) == []
+
+    def test_ptradd_offsets_recorded(self):
+        block = block_of(
+            "int t[8]; int main() { t[0] = 1; t[3] = 2; return 0; }"
+        )
+        aff = AffineAddresses(block)
+        from repro.ir import Opcode
+
+        offs = {
+            aff.ptradd_offset[op.uid].as_constant()
+            for op in block.ops
+            if op.opcode is Opcode.PTRADD and op.uid in aff.ptradd_offset
+        }
+        assert {0, 12} <= offs
+
+    def test_versioned_atom_redefinition_keeps_offsets_apart(self):
+        """After ``i = i + 1`` the new version folds into the old atom, so
+        the two stores classify to distinct constant offsets — the field
+        tier can place them in different regions."""
+        src = """
+        int t[16];
+        int main() {
+          int i = 3;
+          t[i] = 1;
+          i = i + 1;
+          t[i] = 2;
+          return 0;
+        }
+        """
+        block = block_of(src)
+        aff = AffineAddresses(block)
+        from repro.ir import Opcode
+
+        stores = [op for op in block.ops if op.opcode is Opcode.STORE]
+        a0 = aff.address_of[stores[0].uid]
+        a1 = aff.address_of[stores[1].uid]
+        assert a0.same_symbolic(a1)
+        assert a1.const - a0.const == 4
+
+    def test_redefinition_to_unknown_loses_constant_offset(self):
+        src = """
+        int t[16];
+        int u[4];
+        int main() {
+          int i = 3;
+          t[i] = 1;
+          i = u[0];
+          t[i] = 2;
+          return 0;
+        }
+        """
+        block = block_of(src)
+        aff = AffineAddresses(block)
+        from repro.ir import Opcode
+
+        stores = [op for op in block.ops if op.opcode is Opcode.STORE]
+        a0 = aff.address_of[stores[0].uid]
+        a1 = aff.address_of[stores[1].uid]
+        # The second store indexes an opaque atom: different symbolic part.
+        assert not a0.same_symbolic(a1)
+        assert a1.as_constant() is None
 
 
 class TestDisambiguation:

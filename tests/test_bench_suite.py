@@ -11,6 +11,8 @@ from repro.lang import compile_source
 from repro.profiler import Interpreter
 
 GOLDEN_OUTPUTS = {
+    "cjpeg": [568, 510, 9127721],
+    "djpeg": [4, 61937],
     "epic": [661, 202, 101978],
     "fft": [8, 1492],
     "fir": [16687909],
@@ -31,6 +33,7 @@ GOLDEN_OUTPUTS = {
     "rawcaudio": [403105, 21137, 50],
     "rawdaudio": [1238067, 88],
     "sobel": [272, 466, 250, 71, 5, 0, 0, 0, 109350],
+    "unepic": [256, 16713567],
     "viterbi": [392, 4206816],
 }
 

@@ -1,11 +1,15 @@
-"""Tests for the Andersen points-to analysis and memory-op annotation."""
+"""Tests for the tiered points-to analyses and memory-op annotation."""
+
+import pytest
 
 from repro.analysis import (
+    TIERS,
     ObjectTable,
     PointsTo,
     annotate_memory_ops,
     global_object_id,
     heap_object_id,
+    solve_pointsto,
 )
 from repro.ir import Opcode
 from repro.lang import compile_source
@@ -211,3 +215,184 @@ class TestObjectTable:
         table = ObjectTable(module)
         assert "g:a" in table
         assert len(table) == 1
+
+
+# -- Precision tiers ---------------------------------------------------------
+
+POINTER_TABLE = """
+int a[4];
+int b[4];
+int *tab[2];
+int main() {
+  tab[0] = a;
+  tab[1] = b;
+  int *p = tab[0];
+  int *q = tab[1];
+  return p[0] + q[0];
+}
+"""
+
+STRUCT_OF_POINTERS = """
+struct pair { int *lo; int *hi; };
+struct pair pr;
+int a[4];
+int b[4];
+int main() {
+  pr.lo = a;
+  pr.hi = b;
+  int *p = pr.lo;
+  return p[0];
+}
+"""
+
+RETURNED_POINTER = """
+int a[4];
+int b[4];
+int *pick(int *p) { return p; }
+int main() {
+  int *x = pick(a);
+  int *y = pick(b);
+  return x[0] + y[0];
+}
+"""
+
+
+def deref_loads(module, tier, func="main"):
+    """The LOAD ops of ``func`` that read array element data (not the
+    pointer table itself), paired with their annotated target sets."""
+    annotate_memory_ops(module, tier=tier)
+    out = []
+    for op in module.function(func).operations():
+        if op.opcode is Opcode.LOAD and op.dest is not None and not (
+            op.dest.ty.is_pointer()
+        ):
+            out.append(op.mem_objects())
+    return out
+
+
+class TestFieldTier:
+    def test_pointer_table_slots_stay_distinct(self):
+        module = compile_source(POINTER_TABLE, "t")
+        sets = deref_loads(module, "field")
+        assert {"g:a"} in sets and {"g:b"} in sets
+        assert {"g:a", "g:b"} not in sets
+
+    def test_andersen_merges_the_same_slots(self):
+        module = compile_source(POINTER_TABLE, "t")
+        sets = deref_loads(module, "andersen")
+        assert all(s == {"g:a", "g:b"} for s in sets)
+
+    def test_struct_pointer_fields_stay_distinct(self):
+        module = compile_source(STRUCT_OF_POINTERS, "t")
+        (value_load,) = deref_loads(module, "field")
+        assert value_load == {"g:a"}
+        module2 = compile_source(STRUCT_OF_POINTERS, "t")
+        (merged,) = deref_loads(module2, "andersen")
+        assert merged == {"g:a", "g:b"}
+
+    def test_unknown_offset_store_reaches_all_slots(self):
+        """A store through an unknown index must be seen by every slot's
+        readers — field sensitivity cannot pretend it missed."""
+        src = """
+        int a[4];
+        int b[4];
+        int c[4];
+        int *tab[2];
+        int u[1];
+        int main() {
+          tab[0] = a;
+          tab[1] = b;
+          tab[u[0]] = c;
+          int *p = tab[0];
+          return p[0];
+        }
+        """
+        module = compile_source(src, "t")
+        sets = deref_loads(module, "field")
+        assert any("g:c" in s and "g:a" in s for s in sets)
+
+
+class TestContextTier:
+    def test_returned_pointer_split_by_call_site(self):
+        module = compile_source(RETURNED_POINTER, "t")
+        sets = deref_loads(module, "cs")
+        assert {"g:a"} in sets and {"g:b"} in sets
+
+    def test_andersen_merges_returned_pointers(self):
+        module = compile_source(RETURNED_POINTER, "t")
+        sets = deref_loads(module, "andersen")
+        assert all(s == {"g:a", "g:b"} for s in sets)
+
+    def test_callee_ops_union_over_contexts(self):
+        """A deref inside the shared callee genuinely touches both objects
+        across the program run, so its annotation must keep both."""
+        src = """
+        int a[4];
+        int b[4];
+        int get(int *p) { return p[0]; }
+        int main() { return get(a) + get(b); }
+        """
+        module = compile_source(src, "t")
+        annotate_memory_ops(module, tier="cs")
+        (load,) = [
+            op for op in module.function("get").operations()
+            if op.opcode is Opcode.LOAD
+        ]
+        assert load.mem_objects() == {"g:a", "g:b"}
+
+    def test_cs_includes_field_sensitivity(self):
+        module = compile_source(POINTER_TABLE, "t")
+        sets = deref_loads(module, "cs")
+        assert {"g:a"} in sets and {"g:b"} in sets
+
+
+class TestRefinementChain:
+    @pytest.mark.parametrize(
+        "src", [POINTER_TABLE, STRUCT_OF_POINTERS, RETURNED_POINTER]
+    )
+    def test_every_op_set_shrinks_monotonically(self, src):
+        module = compile_source(src, "t")
+        sols = {tier: solve_pointsto(module, tier) for tier in TIERS}
+        for func in module:
+            for op in func.operations():
+                if not op.is_memory_access():
+                    continue
+                sets = [sols[t].objects_for_op(func.name, op) for t in TIERS]
+                for coarse, fine in zip(sets, sets[1:]):
+                    assert fine <= coarse, (func.name, op.uid, coarse, fine)
+
+    def test_avg_set_size_never_grows(self):
+        module = compile_source(RETURNED_POINTER, "t")
+        avgs = [solve_pointsto(module, t).stats().avg_set_size for t in TIERS]
+        assert avgs == sorted(avgs, reverse=True)
+        assert avgs[-1] < avgs[0]
+
+
+class TestStatsAndInterface:
+    def test_stats_fields(self):
+        module = compile_source(POINTER_TABLE, "t")
+        stats = solve_pointsto(module, "field").stats()
+        assert stats.tier == "field"
+        assert stats.memory_ops >= stats.annotated_ops > 0
+        assert 0.0 <= stats.singleton_ratio <= 1.0
+        assert stats.max_set_size >= 1
+        assert stats.solver_iterations > 0
+        d = stats.to_dict()
+        assert d["tier"] == "field"
+        assert "avg_set_size" in d and "mayalias_pairs" in d
+        assert "field" in stats.describe()
+
+    def test_unknown_tier_rejected(self):
+        module = compile_source(POINTER_TABLE, "t")
+        with pytest.raises(ValueError):
+            solve_pointsto(module, "flow-sensitive")
+
+    def test_annotate_accepts_precomputed_solution(self):
+        module = compile_source(POINTER_TABLE, "t")
+        sol = solve_pointsto(module, "cs")
+        returned = annotate_memory_ops(module, pointsto=sol)
+        assert returned is sol
+
+    def test_back_compat_class_is_andersen(self):
+        module = compile_source(POINTER_TABLE, "t")
+        assert PointsTo(module).stats().tier == "andersen"
