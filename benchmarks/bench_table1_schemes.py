@@ -6,7 +6,9 @@ the printed table always matches what the code actually runs.
 
 from harness import outcome
 
+from repro.bench import names as bench_names
 from repro.evalmodel import format_table
+from repro.exec import ParallelRunner, RunConfig
 from repro.pipeline.schemes import SCHEME_TABLE
 
 
@@ -48,3 +50,40 @@ def test_table1_schemes_runnable():
     for scheme in SCHEME_TABLE:
         result = outcome("rawcaudio", scheme, 5)
         assert result.cycles > 0
+
+
+def test_table1_sweep_parallel_matches_serial(tmp_path):
+    """--jobs 4 produces byte-identical deterministic output to serial.
+
+    Both sweeps start from their own cold cache so the per-cell event
+    structure matches; the deterministic serialisation scrubs wall clocks
+    and cache locality, leaving only the seed-determined results."""
+    benches = bench_names()[:3]
+    serial = ParallelRunner(
+        RunConfig(cache_dir=str(tmp_path / "serial"))
+    ).sweep(benches, jobs=1)
+    parallel = ParallelRunner(
+        RunConfig(cache_dir=str(tmp_path / "parallel"))
+    ).sweep(benches, jobs=4)
+    assert serial.to_json(deterministic=True) == parallel.to_json(
+        deterministic=True
+    )
+    assert all(cell["status"] == "ok" for cell in serial.cells)
+
+
+def test_table1_full_sweep_warm_cache_speedup(tmp_path):
+    """A warm-cache rerun of the full Table-1 sweep is >=3x faster than
+    cold and serves >=90% of its cells from the outcome cache."""
+    runner = ParallelRunner(RunConfig(cache_dir=str(tmp_path), jobs=4))
+    benches = bench_names()
+    cold = runner.sweep(benches)
+    warm = runner.sweep(benches)
+    print()
+    print(warm.render_table())
+    assert warm.cache_hit_ratio("outcome") >= 0.9
+    assert all(cell["cycles"] == cold.cells[i]["cycles"]
+               for i, cell in enumerate(warm.cells))
+    assert warm.wall_seconds * 3.0 <= cold.wall_seconds, (
+        f"warm sweep {warm.wall_seconds:.2f}s not >=3x faster than "
+        f"cold {cold.wall_seconds:.2f}s"
+    )

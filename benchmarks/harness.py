@@ -1,20 +1,28 @@
 """Shared machinery for the figure/table benches.
 
-Prepared programs and scheme outcomes are cached for the lifetime of the
-pytest session so that figures sharing data (e.g. Fig. 8a and Fig. 10 both
-need the 5-cycle outcomes) compute it once.
+Prepared programs and scheme outcomes come from the execution engine's
+content-addressed on-disk artifact cache (``$REPRO_CACHE_DIR`` or
+``~/.cache/repro``), so warm reruns of any bench skip the interpreter,
+the points-to solver, and the partitioners.  The ``lru_cache`` layer on
+top only serves repeated in-process lookups; it holds no state a pool
+worker could observe — workers in a parallel sweep rehydrate from disk,
+never from another process's dicts.  Set ``REPRO_BENCH_CACHE=off`` to
+force every run cold.
 """
 
 from __future__ import annotations
 
+import os
 from functools import lru_cache
-from typing import Dict, List, Tuple
+from typing import List, Tuple
 
-from repro.bench import all_benchmarks, get as get_benchmark, names as bench_names
+from repro.bench import get as get_benchmark, names as bench_names
 from repro.evalmodel import arithmetic_mean, bar_chart, format_table
+from repro.exec import ArtifactCache, RunConfig
+from repro.exec.engine import load_or_prepare, run_prepared_scheme
 from repro.machine import two_cluster_machine
 from repro.pipeline import PreparedProgram
-from repro.pipeline.schemes import SchemeOutcome, run_scheme
+from repro.pipeline.schemes import SchemeOutcome
 
 #: The benchmark set used for the full-suite figures (Figs. 2, 7, 8, 10).
 FULL_SUITE: Tuple[str, ...] = tuple(bench_names())
@@ -24,13 +32,28 @@ FIG9_SUITE: Tuple[str, ...] = ("rawcaudio", "rawdaudio")
 
 LATENCIES: Tuple[int, ...] = (1, 5, 10)
 
+#: Engine configuration for every harness lookup.  Policy and root come
+#: from the environment so CI can pin a per-run cache directory.
+BENCH_CONFIG = RunConfig(
+    cache=os.environ.get("REPRO_BENCH_CACHE", "on"),
+    cache_dir=os.environ.get("REPRO_CACHE_DIR") or None,
+)
+
+
+def artifact_cache() -> ArtifactCache:
+    """One artifact-cache handle per call — cheap, and no mutable handle
+    is ever shared across pool workers."""
+    return ArtifactCache(BENCH_CONFIG.cache_dir, BENCH_CONFIG.cache)
+
 
 @lru_cache(maxsize=None)
 def prepared(name: str, pointsto_tier: str = "andersen") -> PreparedProgram:
     bench = get_benchmark(name)
-    return PreparedProgram.from_source(
-        bench.source, bench.name, pointsto_tier=pointsto_tier
+    config = BENCH_CONFIG.replace(pointsto_tier=pointsto_tier)
+    program, _ir_hash, _status = load_or_prepare(
+        bench.source, bench.name, config, artifact_cache()
     )
+    return program
 
 
 @lru_cache(maxsize=None)
@@ -38,26 +61,38 @@ def outcome(
     name: str, scheme: str, latency: int, pointsto_tier: str = "andersen"
 ) -> SchemeOutcome:
     machine = two_cluster_machine(move_latency=latency)
-    return run_scheme(prepared(name, pointsto_tier), machine, scheme)
+    config = BENCH_CONFIG.replace(
+        scheme=scheme, latency=latency, pointsto_tier=pointsto_tier
+    )
+    result, _status = run_prepared_scheme(
+        prepared(name, pointsto_tier), machine, config, scheme,
+        artifact_cache(),
+    )
+    return result
 
 
 @lru_cache(maxsize=None)
 def resilient(name: str, scheme: str, latency: int):
     """Scheme outcome via :class:`repro.resilience.ResilientPipeline` —
     use when a bench needs the :class:`RunReport` per-phase wall clocks
-    (e.g. Section 4.5 compile-time numbers) rather than just the result."""
+    (e.g. Section 4.5 compile-time numbers) rather than just the result.
+    Deliberately never served from the artifact cache: a rehydrated
+    outcome has no fresh phase timings."""
     from repro.resilience import ResilientPipeline
 
     machine = two_cluster_machine(move_latency=latency)
-    pipe = ResilientPipeline(machine, retries=0, fallback=False,
-                             validate=False)
+    pipe = ResilientPipeline.from_config(
+        RunConfig(retries=0, fallback=False, validate=False, cache="off"),
+        machine=machine,
+    )
     return pipe.run(prepared(name), scheme)
 
 
-#: Session-lifetime caches; cleared by :func:`clear_caches` (wired into
-#: ``conftest.py``) so repeated in-process pytest sessions don't reuse
-#: stale outcomes.  Bench modules with their own ``lru_cache`` helpers
-#: can join via :func:`register_cache`.
+#: In-process memo tables; cleared by :func:`clear_caches` (wired into
+#: ``conftest.py``) so repeated in-process pytest sessions re-read the
+#: artifact store.  Bench modules with their own ``lru_cache`` helpers
+#: can join via :func:`register_cache`.  Never visible to pool workers —
+#: cross-process reuse goes through the on-disk artifact cache only.
 _CACHES = [prepared, outcome, resilient]
 
 
@@ -68,7 +103,7 @@ def register_cache(fn):
 
 
 def clear_caches() -> None:
-    """Drop every cached prepared program and scheme outcome."""
+    """Drop every in-process memo (the on-disk artifacts remain)."""
     for fn in _CACHES:
         fn.cache_clear()
 

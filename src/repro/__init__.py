@@ -20,7 +20,10 @@ Typical use::
 
 __version__ = "1.0.0"
 
+from .exec.runconfig import RunConfig
 from .ir import Module, verify_module
 from .lang import compile_source
 
-__all__ = ["Module", "verify_module", "compile_source", "__version__"]
+__all__ = [
+    "Module", "RunConfig", "verify_module", "compile_source", "__version__",
+]

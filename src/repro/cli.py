@@ -6,25 +6,42 @@ compile    MiniC -> IR (exact serialized form, or --pretty for reading)
 run        compile + interpret a MiniC program, print its output
 partition  run one partitioning scheme, print placement and cycles
 compare    run all four Table-1 schemes, print the comparison table
-bench      list or evaluate the bundled benchmark suite
+bench      list or evaluate the bundled benchmark suite (--all sweeps
+           every benchmark x scheme cell in parallel)
 lint       static analysis: IR lint rules + partition validity checking
+config     show the resolved RunConfig for a flag combination
+cache      artifact-cache maintenance: stats / gc / clear
+
+Exit codes (uniform across partition/compare/bench/lint):
+
+- ``0`` — success, the requested work completed as asked
+- ``1`` — degraded but survived: a scheme fell down the resilience
+  ladder, a sweep cell degraded, or lint found findings
+- ``2`` — hard failure: ladder exhausted, partition validity violated,
+  or the invocation itself was invalid
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import re
 import sys
 from typing import List, Optional
 
 from .bench import all_benchmarks, get as get_benchmark
 from .evalmodel import format_table
+from .exec.runconfig import CACHE_POLICIES, MACHINE_PRESETS, RunConfig
 from .ir import print_module
 from .ir.serialize import dumps
 from .lang import compile_source
-from .machine import two_cluster_machine
 from .pipeline import Pipeline, PreparedProgram
 from .profiler import Interpreter
+
+#: Uniform exit codes (documented in README).
+EXIT_OK = 0
+EXIT_DEGRADED = 1
+EXIT_HARD_FAILURE = 2
 
 
 def _read_source(path: str) -> str:
@@ -56,6 +73,10 @@ def _add_compile_flags(parser: argparse.ArgumentParser) -> None:
 def _add_machine_flags(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--latency", type=int, default=5, metavar="CYCLES",
                         help="intercluster move latency (default 5)")
+    parser.add_argument("--machine", default="two_cluster",
+                        choices=list(MACHINE_PRESETS),
+                        help="machine preset (default two_cluster, the "
+                        "paper's evaluation configuration)")
 
 
 def _add_pointsto_flag(parser: argparse.ArgumentParser) -> None:
@@ -66,6 +87,28 @@ def _add_pointsto_flag(parser: argparse.ArgumentParser) -> None:
                         "memory ops (default andersen; field adds "
                         "field-sensitivity, cs adds 1-CFA call-site "
                         "context sensitivity on top)")
+
+
+def _add_exec_flags(parser: argparse.ArgumentParser) -> None:
+    """The normalized flag set every evaluating subcommand accepts."""
+    parser.add_argument("--seed", type=int, default=0, metavar="N",
+                        help="base seed for the randomized partitioners "
+                        "(part of the artifact-cache key)")
+    parser.add_argument("--jobs", type=int, default=None, metavar="N",
+                        help="worker processes for sweeps (default: "
+                        "os.cpu_count())")
+    parser.add_argument("--run-report", metavar="PATH",
+                        help="write a JSON report of the run (attempts, "
+                        "faults, fallbacks, cache events, wall clocks) "
+                        "to PATH")
+    parser.add_argument("--cache", default="off",
+                        choices=list(CACHE_POLICIES),
+                        help="artifact-cache policy (default off; 'on' "
+                        "reuses profiles, points-to solutions and scheme "
+                        "outcomes across runs)")
+    parser.add_argument("--cache-dir", default=None, metavar="DIR",
+                        help="artifact-cache root (default "
+                        "$REPRO_CACHE_DIR or ~/.cache/repro)")
 
 
 def _add_resilience_flags(parser: argparse.ArgumentParser) -> None:
@@ -79,13 +122,33 @@ def _add_resilience_flags(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--fallback", action="store_true",
                         help="on failure, degrade down the quality ladder "
                         "gdp -> profilemax -> naive -> unified")
-    parser.add_argument("--run-report", metavar="PATH",
-                        help="write a JSON report of every attempt, fault, "
-                        "fallback and per-phase wall time to PATH")
     parser.add_argument("--fault-spec", metavar="SPEC",
                         help="inject deterministic faults, e.g. "
                         "'seed=7;raise:gdp@1' (see DESIGN.md for the "
                         "grammar)")
+
+
+def _config_from_args(args, **overrides) -> RunConfig:
+    """The resolved RunConfig for a parsed flag set (missing flags fall
+    back to the RunConfig field defaults)."""
+    retries = getattr(args, "retries", None)
+    kwargs = dict(
+        scheme=getattr(args, "scheme", "gdp"),
+        pointsto_tier=getattr(args, "pointsto", "andersen"),
+        machine=getattr(args, "machine", "two_cluster"),
+        latency=getattr(args, "latency", 5),
+        seed=getattr(args, "seed", 0),
+        max_seconds=getattr(args, "max_seconds", None),
+        retries=retries if retries is not None else 1,
+        fallback=bool(getattr(args, "fallback", False)),
+        fault_spec=getattr(args, "fault_spec", None),
+        validate=bool(getattr(args, "verify_partition", False)),
+        jobs=getattr(args, "jobs", None),
+        cache=getattr(args, "cache", "off"),
+        cache_dir=getattr(args, "cache_dir", None),
+    )
+    kwargs.update(overrides)
+    return RunConfig(**kwargs)
 
 
 def _wants_resilience(args) -> bool:
@@ -98,26 +161,8 @@ def _wants_resilience(args) -> bool:
     ))
 
 
-def _resilient_pipeline(args):
-    from .resilience import Budget, FaultPlan, ResilientPipeline
-
-    budget = (
-        Budget(max_seconds=args.max_seconds)
-        if args.max_seconds is not None else None
-    )
-    faults = FaultPlan.parse(args.fault_spec) if args.fault_spec else None
-    return ResilientPipeline(
-        two_cluster_machine(move_latency=args.latency),
-        retries=args.retries if args.retries is not None else 1,
-        fallback=args.fallback,
-        validate=True,
-        budget=budget,
-        faults=faults,
-    )
-
-
 def _save_run_report(args, report) -> None:
-    if args.run_report:
+    if getattr(args, "run_report", None):
         report.save(args.run_report)
         print(f"[run report written to {args.run_report}]")
 
@@ -137,7 +182,7 @@ def _compile(args) -> int:
             handle.write(text)
     else:
         print(text)
-    return 0
+    return EXIT_OK
 
 
 def _run(args) -> int:
@@ -154,14 +199,20 @@ def _run(args) -> int:
     for value in interp.profile.output:
         print(value)
     print(f"[exit {result}; {interp.steps} operations executed]")
-    return 0
+    return EXIT_OK
 
 
-def _prepared_from_args(args) -> PreparedProgram:
-    return PreparedProgram.from_source(
-        _read_source(args.file), args.name,
-        pointsto_tier=getattr(args, "pointsto", "andersen"),
-    )
+def _prepared_from_config(args, config: RunConfig) -> PreparedProgram:
+    """Prepare via the artifact cache when the config enables it."""
+    source = _read_source(args.file)
+    if config.cache_enabled:
+        from .exec.engine import load_or_prepare
+
+        prepared, _ir_hash, _status = load_or_prepare(
+            source, args.name, config
+        )
+        return prepared
+    return PreparedProgram.from_source(source, args.name, config=config)
 
 
 def _print_precision(prepared: PreparedProgram) -> None:
@@ -169,18 +220,23 @@ def _print_precision(prepared: PreparedProgram) -> None:
 
 
 def _partition(args) -> int:
-    prepared = _prepared_from_args(args)
+    config = _config_from_args(args)
+    prepared = _prepared_from_config(args, config)
     if _wants_resilience(args):
-        return _partition_resilient(args, prepared)
-    pipe = Pipeline(
-        two_cluster_machine(move_latency=args.latency),
-        validate=getattr(args, "verify_partition", False),
-    )
+        return _partition_resilient(args, config, prepared)
+    pipe = Pipeline.from_config(config)
     try:
-        outcome = pipe.run(prepared, args.scheme)
+        if config.cacheable_results:
+            from .exec.engine import run_prepared_scheme
+
+            outcome, _status = run_prepared_scheme(
+                prepared, pipe.machine, config, args.scheme
+            )
+        else:
+            outcome = pipe.run(prepared, args.scheme)
     except _partition_validity_error() as exc:
         print(exc)
-        return 1
+        return EXIT_HARD_FAILURE
     print(f"scheme:  {args.scheme}")
     _print_precision(prepared)
     print(f"cycles:  {outcome.cycles:.0f}")
@@ -190,7 +246,7 @@ def _partition(args) -> int:
         for obj, cluster in sorted(outcome.object_home.items()):
             size = prepared.objects[obj].size
             print(f"  cluster {cluster}: {obj} ({size} bytes)")
-    return 0
+    return EXIT_OK
 
 
 def _partition_validity_error():
@@ -199,17 +255,17 @@ def _partition_validity_error():
     return PartitionValidityError
 
 
-def _partition_resilient(args, prepared) -> int:
-    from .resilience import LadderExhausted
+def _partition_resilient(args, config: RunConfig, prepared) -> int:
+    from .resilience import LadderExhausted, ResilientPipeline
 
-    pipe = _resilient_pipeline(args)
+    pipe = ResilientPipeline.from_config(config.replace(validate=True))
     try:
         result = pipe.run(prepared, args.scheme)
     except LadderExhausted as exc:
         print(exc)
         if exc.run_report is not None:
             _save_run_report(args, exc.run_report)
-        return 1
+        return EXIT_HARD_FAILURE
     result.report.record_pointsto(
         prepared.pointsto_tier, prepared.pointsto.stats().to_dict()
     )
@@ -230,13 +286,13 @@ def _partition_resilient(args, prepared) -> int:
             size = prepared.objects[obj].size
             print(f"  cluster {cluster}: {obj} ({size} bytes)")
     _save_run_report(args, result.report)
-    return 0
+    return EXIT_DEGRADED if result.fell_back else EXIT_OK
 
 
-def _compare_resilient(args, prepared) -> int:
-    from .resilience import LadderExhausted, RunReport
+def _compare_resilient(args, config: RunConfig, prepared) -> int:
+    from .resilience import LadderExhausted, ResilientPipeline, RunReport
 
-    pipe = _resilient_pipeline(args)
+    pipe = ResilientPipeline.from_config(config.replace(validate=True))
     report = RunReport()
     report.record_pointsto(
         prepared.pointsto_tier, prepared.pointsto.stats().to_dict()
@@ -246,11 +302,13 @@ def _compare_resilient(args, prepared) -> int:
     except LadderExhausted as exc:
         print(exc)
         _save_run_report(args, report)
-        return 1
+        return EXIT_HARD_FAILURE
     base = outcomes["unified"].cycles
     rows = []
+    degraded = False
     for name in ("unified", "gdp", "profilemax", "naive"):
         out = outcomes[name]
+        degraded = degraded or out.fell_back
         ran_as = out.scheme if out.fell_back else ""
         rows.append([
             name, ran_as, f"{out.cycles:.0f}",
@@ -262,22 +320,20 @@ def _compare_resilient(args, prepared) -> int:
         ["scheme", "ran as", "cycles", "vs unified", "dyn moves"], rows
     ))
     _save_run_report(args, report)
-    return 0
+    return EXIT_DEGRADED if degraded else EXIT_OK
 
 
 def _compare(args) -> int:
-    prepared = _prepared_from_args(args)
+    config = _config_from_args(args)
+    prepared = _prepared_from_config(args, config)
     if _wants_resilience(args):
-        return _compare_resilient(args, prepared)
-    pipe = Pipeline(
-        two_cluster_machine(move_latency=args.latency),
-        validate=getattr(args, "verify_partition", False),
-    )
+        return _compare_resilient(args, config, prepared)
+    pipe = Pipeline.from_config(config)
     try:
         outcomes = pipe.run_all(prepared)
     except _partition_validity_error() as exc:
         print(exc)
-        return 1
+        return EXIT_HARD_FAILURE
     base = outcomes["unified"].cycles
     rows = []
     for name in ("unified", "gdp", "profilemax", "naive"):
@@ -289,7 +345,7 @@ def _compare(args) -> int:
         ])
     _print_precision(prepared)
     print(format_table(["scheme", "cycles", "vs unified", "dyn moves"], rows))
-    return 0
+    return EXIT_OK
 
 
 def _resolve_lint_path(path: str) -> str:
@@ -313,6 +369,7 @@ def _lint(args) -> int:
         tier_solutions,
     )
 
+    config = _config_from_args(args)
     module = compile_source(
         _read_source(_resolve_lint_path(args.file)), args.name,
         unroll_factor=args.unroll, if_convert=args.if_convert,
@@ -330,14 +387,14 @@ def _lint(args) -> int:
         interp.run()
         profile = interp.profile
 
-    machine = two_cluster_machine(move_latency=args.latency)
+    machine = config.build_machine()
     try:
         report = lint_module(
             module, machine=machine, only=args.only or None, profile=profile
         )
     except ValueError as exc:  # unknown pass name in --only
         print(exc, file=sys.stderr)
-        return 2
+        return EXIT_HARD_FAILURE
 
     # Per-tier precision stats ride on the report (deterministic columns
     # only, so --format json output is byte-stable across runs).
@@ -348,9 +405,10 @@ def _lint(args) -> int:
     if args.verify_partition:
         prepared = PreparedProgram.from_source(
             _read_source(_resolve_lint_path(args.file)), args.name,
-            pointsto_tier=args.pointsto,
+            config=config,
         )
-        pipe = Pipeline(machine)
+        pipe = Pipeline.from_config(config.replace(validate=False),
+                                    machine=machine)
         outcome = pipe.run(prepared, args.scheme)
         report.extend(check_scheme_outcome(prepared, outcome))
 
@@ -361,34 +419,111 @@ def _lint(args) -> int:
         print(report.to_sarif())
     else:
         print(report.render_text())
+    if args.run_report:
+        with open(args.run_report, "w") as handle:
+            handle.write(report.to_json())
+            handle.write("\n")
+        print(f"[run report written to {args.run_report}]")
     if report.has_errors:
-        return 1
+        return EXIT_DEGRADED
     if args.strict and any(
         d.severity is Severity.WARNING for d in report
     ):
-        return 1
-    return 0
+        return EXIT_DEGRADED
+    return EXIT_OK
 
 
 def _bench(args) -> int:
+    if args.all:
+        return _bench_sweep(args)
     if args.name is None:
         rows = [
             [b.name, b.category, b.description] for b in all_benchmarks()
         ]
         print(format_table(["benchmark", "category", "description"], rows))
-        return 0
+        return EXIT_OK
+    config = _config_from_args(args)
     bench = get_benchmark(args.name)
-    prepared = PreparedProgram.from_source(
-        bench.source, bench.name, pointsto_tier=args.pointsto
-    )
-    pipe = Pipeline(two_cluster_machine(move_latency=args.latency))
+    if config.cache_enabled:
+        from .exec.engine import load_or_prepare
+
+        prepared, _ir_hash, _status = load_or_prepare(
+            bench.source, bench.name, config
+        )
+    else:
+        prepared = PreparedProgram.from_source(
+            bench.source, bench.name, config=config
+        )
+    pipe = Pipeline.from_config(config)
     rel = pipe.compare(prepared, schemes=("gdp", "profilemax", "naive"))
     rows = [[scheme, f"{value:.3f}"] for scheme, value in rel.items()]
     print(f"{bench.name} @ {args.latency}-cycle move latency "
           f"(relative to unified memory):")
     _print_precision(prepared)
     print(format_table(["scheme", "vs unified"], rows))
-    return 0
+    return EXIT_OK
+
+
+def _bench_sweep(args) -> int:
+    """Run the Table-1 sweep (all benchmarks x all schemes) in parallel."""
+    from .bench import names as bench_names
+    from .exec.engine import ParallelRunner
+
+    config = _config_from_args(args)
+    benches = [args.name] if args.name else bench_names()
+    runner = ParallelRunner(config)
+    result = runner.sweep(benches, latencies=[args.latency])
+    print(result.render_table())
+    if args.run_report:
+        result.save(args.run_report)
+        print(f"[run report written to {args.run_report}]")
+    counts = result.counts()
+    if counts["failed"]:
+        return EXIT_HARD_FAILURE
+    if counts["degraded"]:
+        return EXIT_DEGRADED
+    return EXIT_OK
+
+
+def _config_show(args) -> int:
+    config = _config_from_args(args)
+    if args.format == "json":
+        print(config.to_json())
+    else:
+        print(config.describe())
+    return EXIT_OK
+
+
+def _cache_handle(args):
+    from .exec.cache import ArtifactCache
+
+    return ArtifactCache(args.cache_dir, "on")
+
+
+def _cache_stats(args) -> int:
+    stats = _cache_handle(args).stats()
+    if args.format == "json":
+        print(json.dumps(stats, indent=2, sort_keys=True))
+        return EXIT_OK
+    print(f"root:    {stats['root']}")
+    print(f"entries: {stats['entries']} ({stats['bytes']} bytes)")
+    for kind, slot in sorted(stats["disk"].items()):
+        print(f"  {kind}: {slot['entries']} entries, {slot['bytes']} bytes")
+    return EXIT_OK
+
+
+def _cache_gc(args) -> int:
+    result = _cache_handle(args).gc(
+        max_age_days=args.max_age_days, max_bytes=args.max_bytes
+    )
+    print(f"removed {result['removed']} entries, kept {result['kept']}")
+    return EXIT_OK
+
+
+def _cache_clear(args) -> int:
+    removed = _cache_handle(args).clear()
+    print(f"removed {removed} entries")
+    return EXIT_OK
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -425,6 +560,7 @@ def build_parser() -> argparse.ArgumentParser:
                    "invariants (fails on any violation)")
     _add_machine_flags(p)
     _add_pointsto_flag(p)
+    _add_exec_flags(p)
     _add_resilience_flags(p)
     p.set_defaults(func=_partition)
 
@@ -435,13 +571,18 @@ def build_parser() -> argparse.ArgumentParser:
                    help="validate each scheme's phase outputs while running")
     _add_machine_flags(p)
     _add_pointsto_flag(p)
+    _add_exec_flags(p)
     _add_resilience_flags(p)
     p.set_defaults(func=_compare)
 
     p = sub.add_parser("bench", help="list or evaluate bundled benchmarks")
     p.add_argument("name", nargs="?", default=None)
+    p.add_argument("--all", action="store_true",
+                   help="run every benchmark x scheme cell as one parallel "
+                   "sweep (honours --jobs and the artifact cache)")
     _add_machine_flags(p)
     _add_pointsto_flag(p)
+    _add_exec_flags(p)
     p.set_defaults(func=_bench)
 
     p = sub.add_parser(
@@ -478,7 +619,45 @@ def build_parser() -> argparse.ArgumentParser:
     _add_compile_flags(p)
     _add_machine_flags(p)
     _add_pointsto_flag(p)
+    _add_exec_flags(p)
     p.set_defaults(func=_lint)
+
+    p = sub.add_parser(
+        "config", help="inspect the resolved execution configuration"
+    )
+    config_sub = p.add_subparsers(dest="config_command", required=True)
+    p = config_sub.add_parser(
+        "show", help="print the RunConfig a flag combination resolves to"
+    )
+    p.add_argument("--scheme", default="gdp",
+                   choices=["gdp", "profilemax", "naive", "unified"])
+    p.add_argument("--format", default="text", choices=["text", "json"])
+    p.add_argument("--verify-partition", action="store_true",
+                   help="resolve with validation enabled")
+    _add_machine_flags(p)
+    _add_pointsto_flag(p)
+    _add_exec_flags(p)
+    _add_resilience_flags(p)
+    p.set_defaults(func=_config_show)
+
+    p = sub.add_parser("cache", help="artifact-cache maintenance")
+    cache_sub = p.add_subparsers(dest="cache_command", required=True)
+    c = cache_sub.add_parser("stats", help="session counters and disk use")
+    c.add_argument("--cache-dir", default=None, metavar="DIR")
+    c.add_argument("--format", default="text", choices=["text", "json"])
+    c.set_defaults(func=_cache_stats)
+    c = cache_sub.add_parser(
+        "gc", help="drop stale-schema, aged, or size-excess entries"
+    )
+    c.add_argument("--cache-dir", default=None, metavar="DIR")
+    c.add_argument("--max-age-days", type=float, default=None, metavar="D",
+                   help="remove entries older than D days")
+    c.add_argument("--max-bytes", type=int, default=None, metavar="B",
+                   help="remove oldest entries until the store fits in B")
+    c.set_defaults(func=_cache_gc)
+    c = cache_sub.add_parser("clear", help="delete every stored artifact")
+    c.add_argument("--cache-dir", default=None, metavar="DIR")
+    c.set_defaults(func=_cache_clear)
 
     return parser
 
@@ -488,7 +667,7 @@ def main(argv: Optional[List[str]] = None) -> int:
     try:
         return args.func(args)
     except BrokenPipeError:  # output piped into head etc.
-        return 0
+        return EXIT_OK
 
 
 if __name__ == "__main__":  # pragma: no cover - exercised via __main__

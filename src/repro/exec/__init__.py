@@ -1,0 +1,51 @@
+"""Execution engine: RunConfig, artifact cache, and the parallel runner.
+
+The public surface of the sweep machinery:
+
+- :class:`RunConfig` — one frozen, serialisable value object for every
+  execution knob (scheme, tier, machine, seed, budget, retries, faults,
+  validation, jobs, cache policy).
+- :class:`ArtifactCache` — content-addressed on-disk store for prepared
+  programs and scheme outcomes.
+- :class:`ParallelRunner` / :class:`SweepResult` — process-pool fan-out
+  of benchmark x scheme x latency x tier cells, resilient per cell.
+"""
+
+from .cache import ArtifactCache, canonical_key, content_sha, default_cache_dir
+from .engine import (
+    SWEEP_SCHEMES,
+    ParallelRunner,
+    SweepResult,
+    load_or_prepare,
+    run_cell,
+    run_prepared_scheme,
+)
+from .runconfig import (
+    CACHE_POLICIES,
+    MACHINE_PRESETS,
+    POINTSTO_TIERS,
+    SCHEMA_VERSION,
+    SCHEMES,
+    RunConfig,
+    warn_legacy_kwarg,
+)
+
+__all__ = [
+    "ArtifactCache",
+    "CACHE_POLICIES",
+    "MACHINE_PRESETS",
+    "POINTSTO_TIERS",
+    "ParallelRunner",
+    "RunConfig",
+    "SCHEMA_VERSION",
+    "SCHEMES",
+    "SWEEP_SCHEMES",
+    "SweepResult",
+    "canonical_key",
+    "content_sha",
+    "default_cache_dir",
+    "load_or_prepare",
+    "run_cell",
+    "run_prepared_scheme",
+    "warn_legacy_kwarg",
+]

@@ -1,0 +1,248 @@
+"""Content-addressed on-disk artifact cache for the execution engine.
+
+Artifacts (serialized profiles, points-to annotations, coarsened-graph
+groups, partition assignments, scheme outcomes) are stored as JSON under
+``<root>/objects/<kind>/<kk>/<key>.json`` where ``key`` is the SHA-256 of
+the canonical JSON of the artifact's *key material* — for outcomes that
+is ``(IR module hash, machine fingerprint, points-to tier, scheme,
+seed)`` plus the schema version, so a cache entry can never be confused
+with a result produced under different inputs.
+
+The root defaults to ``$REPRO_CACHE_DIR`` or ``~/.cache/repro``; every
+CLI entry point accepts ``--cache-dir``.  Writes are atomic
+(temp file + ``os.replace``) so concurrent pool workers racing on the
+same key simply last-write-win with identical content.  Hit / miss /
+stale counters accumulate per cache instance and feed the sweep report's
+cache columns and ``repro cache stats``.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import shutil
+import tempfile
+import time
+from typing import Any, Dict, Iterator, Optional, Tuple
+
+from .runconfig import SCHEMA_VERSION
+
+#: Artifact kinds the engine stores (subdirectories of ``objects/``).
+KINDS = ("prepared", "outcome")
+
+
+def default_cache_dir() -> str:
+    """``$REPRO_CACHE_DIR`` if set, else ``~/.cache/repro``."""
+    env = os.environ.get("REPRO_CACHE_DIR")
+    if env:
+        return env
+    return os.path.join(os.path.expanduser("~"), ".cache", "repro")
+
+
+def canonical_key(material: Dict[str, Any]) -> str:
+    """SHA-256 over the canonical (sorted, compact) JSON of ``material``."""
+    blob = json.dumps(material, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(blob.encode("utf-8")).hexdigest()
+
+
+def content_sha(text: str) -> str:
+    """SHA-256 of a text blob (source files, serialized IR modules)."""
+    return hashlib.sha256(text.encode("utf-8")).hexdigest()
+
+
+class ArtifactCache:
+    """One process's handle on the on-disk artifact store.
+
+    ``policy`` is a :data:`~repro.exec.runconfig.CACHE_POLICIES` value:
+    ``on`` (read+write), ``off`` (inert), ``readonly`` (hits only, never
+    writes), ``refresh`` (recompute everything, overwrite entries).
+    """
+
+    def __init__(self, root: Optional[str] = None, policy: str = "on"):
+        self.root = root or default_cache_dir()
+        self.policy = policy
+        self.hits = 0
+        self.misses = 0
+        self.stale = 0
+        self.stores = 0
+
+    # -- keys & paths ----------------------------------------------------------
+
+    def _objects_dir(self) -> str:
+        return os.path.join(self.root, "objects")
+
+    def _path(self, kind: str, key: str) -> str:
+        return os.path.join(self._objects_dir(), kind, key[:2], key + ".json")
+
+    # -- load / store ----------------------------------------------------------
+
+    def load(self, kind: str, material: Dict[str, Any]) -> Optional[Dict[str, Any]]:
+        """The payload stored for ``material``, or None on miss.
+
+        An unreadable entry or one written under a different schema
+        version counts as *stale*: it is deleted and reported as a miss,
+        so a schema bump invalidates the whole store lazily.
+        """
+        if self.policy in ("off", "refresh"):
+            self.misses += 1
+            return None
+        key = canonical_key(material)
+        path = self._path(kind, key)
+        try:
+            with open(path) as handle:
+                entry = json.load(handle)
+        except FileNotFoundError:
+            self.misses += 1
+            return None
+        except (OSError, json.JSONDecodeError):
+            self.stale += 1
+            self._remove_quietly(path)
+            return None
+        if entry.get("schema") != SCHEMA_VERSION or entry.get("kind") != kind:
+            self.stale += 1
+            self._remove_quietly(path)
+            return None
+        self.hits += 1
+        return entry["payload"]
+
+    def store(
+        self, kind: str, material: Dict[str, Any], payload: Dict[str, Any]
+    ) -> bool:
+        """Write ``payload`` under ``material``'s key; atomic, race-safe."""
+        if self.policy in ("off", "readonly"):
+            return False
+        key = canonical_key(material)
+        path = self._path(kind, key)
+        entry = {
+            "schema": SCHEMA_VERSION,
+            "kind": kind,
+            "key": key,
+            "key_material": material,
+            "created": time.time(),
+            "payload": payload,
+        }
+        os.makedirs(os.path.dirname(path), exist_ok=True)
+        fd, tmp = tempfile.mkstemp(
+            dir=os.path.dirname(path), suffix=".tmp"
+        )
+        try:
+            with os.fdopen(fd, "w") as handle:
+                json.dump(entry, handle, sort_keys=True)
+            os.replace(tmp, path)
+        except OSError:
+            self._remove_quietly(tmp)
+            return False
+        self.stores += 1
+        return True
+
+    @staticmethod
+    def _remove_quietly(path: str) -> None:
+        try:
+            os.remove(path)
+        except OSError:
+            pass
+
+    # -- maintenance -----------------------------------------------------------
+
+    def _entries(self) -> Iterator[Tuple[str, str]]:
+        """Yield (kind, path) for every stored entry."""
+        objects = self._objects_dir()
+        if not os.path.isdir(objects):
+            return
+        for kind in sorted(os.listdir(objects)):
+            kind_dir = os.path.join(objects, kind)
+            if not os.path.isdir(kind_dir):
+                continue
+            for shard in sorted(os.listdir(kind_dir)):
+                shard_dir = os.path.join(kind_dir, shard)
+                if not os.path.isdir(shard_dir):
+                    continue
+                for name in sorted(os.listdir(shard_dir)):
+                    if name.endswith(".json"):
+                        yield kind, os.path.join(shard_dir, name)
+
+    def stats(self) -> Dict[str, Any]:
+        """Session counters plus a disk inventory per artifact kind."""
+        disk: Dict[str, Dict[str, int]] = {}
+        for kind, path in self._entries():
+            slot = disk.setdefault(kind, {"entries": 0, "bytes": 0})
+            slot["entries"] += 1
+            try:
+                slot["bytes"] += os.path.getsize(path)
+            except OSError:
+                pass
+        return {
+            "root": self.root,
+            "policy": self.policy,
+            "session": {
+                "hits": self.hits,
+                "misses": self.misses,
+                "stale": self.stale,
+                "stores": self.stores,
+            },
+            "disk": disk,
+            "entries": sum(s["entries"] for s in disk.values()),
+            "bytes": sum(s["bytes"] for s in disk.values()),
+        }
+
+    def gc(
+        self,
+        max_age_days: Optional[float] = None,
+        max_bytes: Optional[int] = None,
+    ) -> Dict[str, int]:
+        """Collect garbage: stale-schema entries always, then entries
+        older than ``max_age_days``, then oldest-first until the store
+        fits in ``max_bytes``.  Returns removal/keep counts."""
+        now = time.time()
+        survivors = []  # (created, size, path)
+        removed = 0
+        for _kind, path in self._entries():
+            try:
+                with open(path) as handle:
+                    entry = json.load(handle)
+                created = float(entry.get("created", 0.0))
+                schema = entry.get("schema")
+            except (OSError, json.JSONDecodeError, ValueError):
+                self._remove_quietly(path)
+                removed += 1
+                continue
+            if schema != SCHEMA_VERSION:
+                self._remove_quietly(path)
+                removed += 1
+                continue
+            if (
+                max_age_days is not None
+                and now - created > max_age_days * 86400.0
+            ):
+                self._remove_quietly(path)
+                removed += 1
+                continue
+            try:
+                size = os.path.getsize(path)
+            except OSError:
+                size = 0
+            survivors.append((created, size, path))
+        if max_bytes is not None:
+            survivors.sort()  # oldest first
+            total = sum(size for _c, size, _p in survivors)
+            while survivors and total > max_bytes:
+                _created, size, path = survivors.pop(0)
+                self._remove_quietly(path)
+                total -= size
+                removed += 1
+        return {"removed": removed, "kept": len(survivors)}
+
+    def clear(self) -> int:
+        """Delete every stored artifact; returns the number removed."""
+        count = sum(1 for _ in self._entries())
+        objects = self._objects_dir()
+        if os.path.isdir(objects):
+            shutil.rmtree(objects, ignore_errors=True)
+        return count
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"<artifact cache {self.root} [{self.policy}]: "
+            f"{self.hits} hit(s), {self.misses} miss(es), {self.stale} stale>"
+        )

@@ -1,0 +1,510 @@
+"""Parallel scheme/bench execution engine over the artifact cache.
+
+The paper's evaluation is an embarrassingly parallel sweep — benchmarks
+x schemes x intercluster latencies (Table 1, Figs 7-10).  The engine
+fans those cells out over a :class:`~concurrent.futures.ProcessPoolExecutor`
+(``--jobs N``, default ``os.cpu_count()``), runs each cell under the
+resilience layer's retry/fallback ladder so one failing cell degrades
+without killing the sweep, and merges the per-cell
+:class:`~repro.resilience.report.RunReport`\\ s into one sweep-level
+:class:`SweepResult` with wall-clock speedup and cache-hit columns.
+
+Workers never share in-memory state: every worker rehydrates prepared
+programs and outcomes from the content-addressed on-disk
+:class:`~repro.exec.cache.ArtifactCache`, so a warm rerun of the whole
+sweep skips the interpreter, the points-to solver, and the partitioners
+entirely.
+"""
+
+from __future__ import annotations
+
+import time
+from concurrent.futures import ProcessPoolExecutor
+from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple
+
+from .artifacts import (
+    outcome_from_payload,
+    outcome_key_material,
+    outcome_to_payload,
+    prepared_from_payload,
+    prepared_key_material,
+    prepared_to_payload,
+)
+from .cache import ArtifactCache
+from .runconfig import SCHEMA_VERSION, RunConfig
+
+#: Default scheme set of a sweep (Table 1 order, unified first so the
+#: relative-performance column always has its baseline).
+SWEEP_SCHEMES = ("unified", "gdp", "profilemax", "naive")
+
+#: Placeholder used when deterministic serialisation scrubs a field whose
+#: value depends on execution order or wall clocks (cache locality, jobs).
+_SCRUBBED = "-"
+
+
+# ---------------------------------------------------------------------------
+# In-process cache-aware building blocks (shared by workers, the bench
+# harness, and Pipeline.run_all)
+# ---------------------------------------------------------------------------
+
+
+def load_or_prepare(
+    source: str,
+    name: str,
+    config: RunConfig,
+    cache: Optional[ArtifactCache] = None,
+) -> Tuple[Any, Optional[str], str]:
+    """(prepared, ir_hash, cache status) for one benchmark program.
+
+    On a hit the prepared program is rehydrated from its artifact (no
+    interpretation, no points-to solve); on a miss it is built and the
+    artifact stored.  With caching off the hash is skipped too.
+    """
+    from ..pipeline.prepared import PreparedProgram
+
+    cache = cache or ArtifactCache(config.cache_dir, config.cache)
+    if not config.cache_enabled:
+        prepared = PreparedProgram.from_source(source, name, config=config)
+        return prepared, None, "off"
+    material = prepared_key_material(source, name, config.pointsto_tier)
+    payload = cache.load("prepared", material)
+    if payload is not None:
+        return prepared_from_payload(payload), payload["ir_hash"], "hit"
+    prepared = PreparedProgram.from_source(source, name, config=config)
+    payload = prepared_to_payload(prepared)
+    cache.store("prepared", material, payload)
+    return prepared, payload["ir_hash"], "miss"
+
+
+def run_prepared_scheme(
+    prepared,
+    machine,
+    config: RunConfig,
+    scheme: str,
+    cache: Optional[ArtifactCache] = None,
+    ir_hash: Optional[str] = None,
+    validate: Optional[bool] = None,
+):
+    """One scheme over an in-memory prepared program, cache-aware.
+
+    Returns ``(SchemeOutcome, cache_status)``.  Used by
+    :meth:`Pipeline.run_all` and the bench harness; the parallel workers
+    use the resilient variant in :func:`run_cell`.
+    """
+    from ..pipeline.schemes import run_scheme
+
+    validate = config.validate if validate is None else validate
+    cacheable = config.cacheable_results
+    cache = cache or ArtifactCache(config.cache_dir, config.cache)
+    material = None
+    if cacheable:
+        if ir_hash is None:
+            ir_hash = prepared.fingerprint()
+        material = outcome_key_material(
+            ir_hash, machine, config.pointsto_tier, scheme, config.seed
+        )
+        payload = cache.load("outcome", material)
+        if payload is not None:
+            return outcome_from_payload(payload, machine), "hit"
+    outcome = run_scheme(
+        prepared, machine, scheme,
+        validate=validate, seed_offset=config.seed,
+    )
+    if cacheable and material is not None:
+        cache.store("outcome", material, outcome_to_payload(outcome))
+        return outcome, "miss"
+    return outcome, "skip"
+
+
+# ---------------------------------------------------------------------------
+# The pool worker
+# ---------------------------------------------------------------------------
+
+
+def _bench_source(name: str, source: Optional[str]) -> Tuple[str, str]:
+    if source is not None:
+        return name, source
+    from ..bench import get as get_benchmark
+
+    bench = get_benchmark(name)
+    return bench.name, bench.source
+
+
+def run_cell(payload: Dict[str, Any]) -> Dict[str, Any]:
+    """Execute one sweep cell; never raises (a failed cell reports itself).
+
+    The payload is plain JSON (picklable across the pool): the cell's
+    RunConfig dict plus ``bench`` and optionally ``source`` for programs
+    not in the registry.
+    """
+    from ..resilience import LadderExhausted, ResilientPipeline
+    from ..resilience.report import RunReport
+
+    config = RunConfig.from_dict(payload["config"])
+    cache = ArtifactCache(config.cache_dir, config.cache)
+    started = time.perf_counter()
+    cell: Dict[str, Any] = {
+        "bench": payload["bench"],
+        "scheme": config.scheme,
+        "latency": config.latency,
+        "pointsto_tier": config.pointsto_tier,
+        "seed": config.seed,
+        "machine": config.machine,
+    }
+    report = RunReport()
+    cache_events = {"prepared": "off", "outcome": "off"}
+    try:
+        name, source = _bench_source(payload["bench"], payload.get("source"))
+        machine = config.build_machine()
+        cacheable = config.cacheable_results
+
+        # Fast path: the outcome artifact alone answers the cell.  The
+        # ir_hash needed for its key lives in the prepared artifact, so a
+        # fully warm cell never even compiles.
+        prepared = None
+        ir_hash = None
+        if config.cache_enabled:
+            material = prepared_key_material(
+                source, name, config.pointsto_tier
+            )
+            prep_payload = cache.load("prepared", material)
+            if prep_payload is not None:
+                ir_hash = prep_payload["ir_hash"]
+                cache_events["prepared"] = "hit"
+                report.record_cache("prepared", "hit")
+        if cacheable and ir_hash is not None:
+            out_material = outcome_key_material(
+                ir_hash, machine, config.pointsto_tier, config.scheme,
+                config.seed,
+            )
+            out_payload = cache.load("outcome", out_material)
+            if out_payload is not None:
+                cache_events["outcome"] = "hit"
+                report.record_cache("outcome", "hit")
+                report.record_run(config.scheme, [config.scheme])
+                ran_as = out_payload.get("ran_as", out_payload["scheme"])
+                report.record_final(config.scheme, ran_as, "ok")
+                cell.update(
+                    status=(
+                        "degraded"
+                        if ran_as != config.scheme else "ok"
+                    ),
+                    ran_as=ran_as,
+                    cycles=out_payload["eval"]["cycles"],
+                    dynamic_moves=out_payload["eval"]["dynamic_moves"],
+                    error=None,
+                )
+                return _finish_cell(cell, cache_events, report, started)
+
+        # Slow path: materialise the prepared program (rehydrated on a
+        # prepared hit, computed and stored on a miss) and run the scheme
+        # under the resilience ladder.
+        if config.cache_enabled and cache_events["prepared"] == "hit":
+            prepared = prepared_from_payload(prep_payload)
+        else:
+            prepared, ir_hash, status = load_or_prepare(
+                source, name, config, cache
+            )
+            cache_events["prepared"] = status
+            if status != "off":
+                report.record_cache("prepared", status)
+
+        pipe = ResilientPipeline.from_config(config, machine=machine)
+        try:
+            result = pipe.run(prepared, config.scheme, report=report)
+        except LadderExhausted as exc:
+            cell.update(
+                status="failed", ran_as=None, cycles=None,
+                dynamic_moves=None, error=str(exc),
+            )
+            return _finish_cell(cell, cache_events, report, started)
+
+        if cacheable and ir_hash is not None:
+            out_material = outcome_key_material(
+                ir_hash, machine, config.pointsto_tier, config.scheme,
+                config.seed,
+            )
+            out_payload = outcome_to_payload(result.outcome)
+            out_payload["ran_as"] = result.scheme
+            cache.store("outcome", out_material, out_payload)
+            cache_events["outcome"] = "miss"
+            report.record_cache("outcome", "miss")
+        elif not cacheable and config.cache_enabled:
+            cache_events["outcome"] = "skip"
+
+        cell.update(
+            status="degraded" if result.fell_back else "ok",
+            ran_as=result.scheme,
+            cycles=result.cycles,
+            dynamic_moves=result.dynamic_moves,
+            error=None,
+        )
+        return _finish_cell(cell, cache_events, report, started)
+    except Exception as exc:  # noqa: BLE001 - a cell must never kill the sweep
+        cell.update(
+            status="failed", ran_as=None, cycles=None, dynamic_moves=None,
+            error=f"{type(exc).__name__}: {exc}",
+        )
+        return _finish_cell(cell, cache_events, report, started)
+
+
+def _finish_cell(cell, cache_events, report, started) -> Dict[str, Any]:
+    cell["cache"] = dict(cache_events)
+    cell["seconds"] = time.perf_counter() - started
+    cell["report"] = report.to_dict()
+    cell["report_deterministic"] = report.to_dict(deterministic=True)
+    return cell
+
+
+# ---------------------------------------------------------------------------
+# Sweep-level result
+# ---------------------------------------------------------------------------
+
+
+def _cell_sort_key(cell: Dict[str, Any]) -> Tuple:
+    return (
+        cell["bench"], cell["scheme"], cell["latency"],
+        cell["pointsto_tier"], cell["seed"],
+    )
+
+
+class SweepResult:
+    """Merged result of one sweep: ordered cells + aggregate telemetry.
+
+    ``to_dict(deterministic=True)`` strips everything execution-order or
+    wall-clock dependent (seconds, jobs, cache locality), leaving only
+    the seed-determined results — the form the ``--jobs 1`` vs
+    ``--jobs 4`` byte-identity tests pin.
+    """
+
+    def __init__(
+        self,
+        cells: List[Dict[str, Any]],
+        wall_seconds: float,
+        jobs: int,
+        config: RunConfig,
+    ):
+        self.cells = sorted(cells, key=_cell_sort_key)
+        self.wall_seconds = wall_seconds
+        self.jobs = jobs
+        self.config = config
+
+    # -- aggregates ------------------------------------------------------------
+
+    def counts(self) -> Dict[str, int]:
+        counts = {"ok": 0, "degraded": 0, "failed": 0}
+        for cell in self.cells:
+            counts[cell["status"]] = counts.get(cell["status"], 0) + 1
+        return counts
+
+    def cell_seconds(self) -> float:
+        """Sum of per-cell wall clocks — the serial-equivalent cost."""
+        return sum(cell["seconds"] for cell in self.cells)
+
+    def speedup(self) -> float:
+        """Serial-equivalent seconds / sweep wall seconds."""
+        if self.wall_seconds <= 0:
+            return 0.0
+        return self.cell_seconds() / self.wall_seconds
+
+    def cache_counts(self) -> Dict[str, Dict[str, int]]:
+        totals: Dict[str, Dict[str, int]] = {}
+        for cell in self.cells:
+            for kind, status in cell["cache"].items():
+                slot = totals.setdefault(kind, {})
+                slot[status] = slot.get(status, 0) + 1
+        return totals
+
+    def cache_hit_ratio(self, kind: str = "outcome") -> float:
+        """Hits / (hits + misses) for one artifact kind over the sweep
+        (cells that never consulted the cache are excluded)."""
+        counts = self.cache_counts().get(kind, {})
+        hits = counts.get("hit", 0)
+        misses = counts.get("miss", 0)
+        if hits + misses == 0:
+            return 0.0
+        return hits / (hits + misses)
+
+    def summary(self) -> Dict[str, Any]:
+        reports = [cell["report"]["summary"] for cell in self.cells]
+        return {
+            "cells": len(self.cells),
+            **self.counts(),
+            "attempts": sum(r["attempts"] for r in reports),
+            "faults": sum(r["faults"] for r in reports),
+            "fallbacks": sum(r["fallbacks"] for r in reports),
+        }
+
+    # -- serialisation ---------------------------------------------------------
+
+    def to_dict(self, deterministic: bool = False) -> Dict[str, Any]:
+        if deterministic:
+            cells = []
+            for cell in self.cells:
+                copy = {
+                    k: v for k, v in cell.items()
+                    if k not in ("seconds", "report", "report_deterministic")
+                }
+                copy["cache"] = {k: _SCRUBBED for k in cell["cache"]}
+                copy["report"] = cell["report_deterministic"]
+                cells.append(copy)
+            config = self.config.replace(jobs=None, cache="off",
+                                         cache_dir=None)
+            return {
+                "schema_version": SCHEMA_VERSION,
+                "config": config.to_dict(),
+                "cells": cells,
+                "summary": self.summary(),
+            }
+        return {
+            "schema_version": SCHEMA_VERSION,
+            "config": self.config.to_dict(),
+            "jobs": self.jobs,
+            "wall_seconds": self.wall_seconds,
+            "cell_seconds": self.cell_seconds(),
+            "speedup": self.speedup(),
+            "cache": self.cache_counts(),
+            "cells": self.cells,
+            "summary": self.summary(),
+        }
+
+    def to_json(self, deterministic: bool = False, indent: int = 2) -> str:
+        import json
+
+        return json.dumps(
+            self.to_dict(deterministic), indent=indent, sort_keys=True
+        )
+
+    def save(self, path: str, deterministic: bool = False) -> None:
+        with open(path, "w") as handle:
+            handle.write(self.to_json(deterministic))
+            handle.write("\n")
+
+    def render_table(self) -> str:
+        """Human-readable sweep table with cache-hit and speedup columns."""
+        from ..evalmodel import format_table
+
+        baselines: Dict[Tuple, float] = {}
+        for cell in self.cells:
+            if cell["scheme"] == "unified" and cell["cycles"]:
+                baselines[
+                    (cell["bench"], cell["latency"], cell["pointsto_tier"])
+                ] = cell["cycles"]
+        rows = []
+        for cell in self.cells:
+            base = baselines.get(
+                (cell["bench"], cell["latency"], cell["pointsto_tier"])
+            )
+            rel = (
+                f"{base / cell['cycles']:.3f}"
+                if base and cell["cycles"] else "-"
+            )
+            rows.append([
+                cell["bench"],
+                cell["scheme"],
+                cell["ran_as"] if cell["ran_as"] != cell["scheme"] else "",
+                f"{cell['cycles']:.0f}" if cell["cycles"] else "-",
+                rel,
+                cell["status"],
+                cell["cache"]["outcome"],
+                f"{cell['seconds']:.2f}",
+            ])
+        table = format_table(
+            ["benchmark", "scheme", "ran as", "cycles", "vs unified",
+             "status", "cache", "secs"],
+            rows,
+        )
+        counts = self.cache_counts().get("outcome", {})
+        footer = (
+            f"{len(self.cells)} cell(s) in {self.wall_seconds:.2f}s wall "
+            f"({self.cell_seconds():.2f}s serial-equivalent, "
+            f"{self.speedup():.2f}x speedup, {self.jobs} job(s)); "
+            f"outcome cache: {counts.get('hit', 0)} hit(s), "
+            f"{counts.get('miss', 0)} miss(es)"
+        )
+        return f"{table}\n\n{footer}"
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        counts = self.counts()
+        return (
+            f"<sweep {len(self.cells)} cells: {counts['ok']} ok, "
+            f"{counts['degraded']} degraded, {counts['failed']} failed, "
+            f"{self.wall_seconds:.2f}s>"
+        )
+
+
+# ---------------------------------------------------------------------------
+# The runner
+# ---------------------------------------------------------------------------
+
+
+class ParallelRunner:
+    """Fans benchmark x scheme x latency x tier cells over a process pool.
+
+    Example
+    -------
+    >>> from repro.exec import ParallelRunner, RunConfig
+    >>> runner = ParallelRunner(RunConfig(jobs=4))
+    >>> result = runner.sweep(benches=["rawcaudio"], schemes=["gdp"])
+    """
+
+    def __init__(self, config: Optional[RunConfig] = None):
+        self.config = config or RunConfig()
+
+    def cells(
+        self,
+        benches: Sequence[str],
+        schemes: Iterable[str] = SWEEP_SCHEMES,
+        latencies: Optional[Iterable[int]] = None,
+        tiers: Optional[Iterable[str]] = None,
+        sources: Optional[Dict[str, str]] = None,
+    ) -> List[Dict[str, Any]]:
+        """The cell payload list for a sweep (deduplicated, stable order)."""
+        latencies = (
+            [self.config.latency] if latencies is None else list(latencies)
+        )
+        tiers = (
+            [self.config.pointsto_tier] if tiers is None else list(tiers)
+        )
+        payloads = []
+        for bench in dict.fromkeys(benches):
+            for tier in dict.fromkeys(tiers):
+                for latency in dict.fromkeys(latencies):
+                    for scheme in dict.fromkeys(schemes):
+                        cfg = self.config.replace(
+                            scheme=scheme, latency=latency,
+                            pointsto_tier=tier,
+                        )
+                        payloads.append({
+                            "bench": bench,
+                            "source": (sources or {}).get(bench),
+                            "config": cfg.to_dict(),
+                        })
+        return payloads
+
+    def sweep(
+        self,
+        benches: Sequence[str],
+        schemes: Iterable[str] = SWEEP_SCHEMES,
+        latencies: Optional[Iterable[int]] = None,
+        tiers: Optional[Iterable[str]] = None,
+        sources: Optional[Dict[str, str]] = None,
+        jobs: Optional[int] = None,
+    ) -> SweepResult:
+        """Run the whole sweep; one failing cell degrades, never kills.
+
+        ``jobs=1`` runs every cell inline in this process (the serial
+        baseline the determinism tests compare against); ``jobs>1`` uses
+        a :class:`ProcessPoolExecutor` with that many workers.
+        """
+        payloads = self.cells(benches, schemes, latencies, tiers, sources)
+        jobs = self.config.effective_jobs if jobs is None else jobs
+        started = time.perf_counter()
+        if jobs <= 1 or len(payloads) <= 1:
+            results = [run_cell(payload) for payload in payloads]
+            jobs = 1
+        else:
+            with ProcessPoolExecutor(max_workers=jobs) as pool:
+                results = list(pool.map(run_cell, payloads))
+        wall = time.perf_counter() - started
+        return SweepResult(results, wall, jobs, self.config)

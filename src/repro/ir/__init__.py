@@ -10,7 +10,7 @@ from .builder import IRBuilder
 from .clone import clone_function, clone_module
 from .function import Function
 from .module import GlobalVariable, Module
-from .ops import OpClass, Opcode, Operation, TERMINATORS
+from .ops import OpClass, Opcode, Operation, TERMINATORS, renumber_ops
 from .printer import print_function, print_module, print_partitioned
 from .serialize import SerializeError, dumps, loads
 from .types import (

@@ -112,6 +112,24 @@ TERMINATORS = {Opcode.BR, Opcode.CBR, Opcode.RET}
 _op_ids = itertools.count()
 
 
+def renumber_ops(module) -> None:
+    """Re-assign every operation's uid in textual order.
+
+    Optimization passes create operations out of textual order, so a
+    freshly compiled module's uids and a serialization round-trip's uids
+    (assigned in parse order) can disagree on *relative* order.  Anything
+    that tie-breaks on uid — graph partitioners most of all — would then
+    produce different results for two semantically identical modules.
+    Renumbering in the one canonical order (function, block, index) makes
+    uid order a pure function of the module text.  Call only while no
+    uid-keyed side tables reference the module (uids key ``__hash__``).
+    """
+    for func in module:
+        for block in func:
+            for op in block.ops:
+                op.uid = next(_op_ids)
+
+
 class Operation:
     """A single IR operation.
 

@@ -92,6 +92,44 @@ class Machine:
     def units(self, cluster: int, cls: FUClass) -> int:
         return self.clusters[cluster].units(cls)
 
+    def describe(self) -> Dict:
+        """JSON-ready structural description (everything that can change
+        a partitioning or scheduling result)."""
+        return {
+            "clusters": [
+                {
+                    "name": cluster.name,
+                    "fu": {
+                        cls.value: cluster.units(cls) for cls in FUClass
+                    },
+                    "memory_bytes": cluster.memory_bytes,
+                }
+                for cluster in self.clusters
+            ],
+            "network": {
+                "move_latency": self.network.move_latency,
+                "bandwidth": self.network.bandwidth,
+            },
+            "unified_memory": self.unified_memory,
+            "latencies": {
+                op.name: lat for op, lat in sorted(
+                    self.latencies.items(), key=lambda kv: kv[0].name
+                )
+            },
+        }
+
+    def fingerprint(self) -> str:
+        """Content hash of the machine configuration, embedded in the
+        artifact-cache key so outcomes computed for one machine can never
+        satisfy a lookup for another."""
+        import hashlib
+        import json
+
+        blob = json.dumps(
+            self.describe(), sort_keys=True, separators=(",", ":")
+        )
+        return hashlib.sha256(blob.encode("utf-8")).hexdigest()[:16]
+
     def with_move_latency(self, latency: int) -> "Machine":
         """A copy of this machine with a different intercluster latency."""
         return Machine(

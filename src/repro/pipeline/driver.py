@@ -2,23 +2,31 @@
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Optional
+from typing import Dict, Iterable, Optional
 
-from ..machine import Machine, two_cluster_machine
+from ..machine import Machine
 from ..partition.gdp import GDPConfig
 from ..partition.rhop import RHOPConfig
-from .prepared import PreparedProgram
-from .schemes import SCHEME_TABLE, SchemeOutcome, run_scheme
+from .prepared import _UNSET, PreparedProgram
+from .schemes import SchemeOutcome, run_scheme
 
 
 class Pipeline:
     """Runs partitioning schemes over prepared programs.
 
+    Configuration comes from one frozen :class:`~repro.exec.RunConfig`
+    (see :meth:`from_config`); the legacy ``validate=`` /
+    ``pointsto_tier=`` keywords still work behind a deprecation shim
+    (DESIGN.md section 8).  The legacy constructor defaults to
+    ``cache="off"`` so direct ``Pipeline(...)`` use keeps its historical
+    recompute-everything behaviour; configs built by callers default to
+    the artifact cache being on.
+
     Example
     -------
-    >>> from repro.machine import two_cluster_machine
+    >>> from repro.exec import RunConfig
     >>> from repro.pipeline import Pipeline
-    >>> pipe = Pipeline(two_cluster_machine(move_latency=5))
+    >>> pipe = Pipeline.from_config(RunConfig(latency=5, validate=True))
     """
 
     def __init__(
@@ -26,22 +34,73 @@ class Pipeline:
         machine: Optional[Machine] = None,
         gdp_config: Optional[GDPConfig] = None,
         rhop_config: Optional[RHOPConfig] = None,
-        validate: bool = False,
-        pointsto_tier: str = "andersen",
+        validate=_UNSET,
+        pointsto_tier=_UNSET,
+        config=None,
     ):
-        self.machine = machine or two_cluster_machine()
+        from ..exec.runconfig import RunConfig, warn_legacy_kwarg
+
+        if config is None:
+            if validate is not _UNSET:
+                warn_legacy_kwarg("Pipeline", "validate", "validate")
+            if pointsto_tier is not _UNSET:
+                warn_legacy_kwarg("Pipeline", "pointsto_tier", "pointsto_tier")
+            config = RunConfig(
+                validate=validate if validate is not _UNSET else False,
+                pointsto_tier=(
+                    pointsto_tier if pointsto_tier is not _UNSET
+                    else "andersen"
+                ),
+                cache="off",
+            )
+        elif validate is not _UNSET or pointsto_tier is not _UNSET:
+            raise ValueError(
+                "pass either config= or the legacy keywords, not both"
+            )
+        self.config = config
+        self.machine = machine if machine is not None else config.build_machine()
+        #: Expert knobs overriding the partitioner defaults; when either
+        #: is set, results are no longer a function of the RunConfig cache
+        #: key, so the artifact cache is bypassed.
         self.gdp_config = gdp_config
         self.rhop_config = rhop_config
         #: When set, every phase output is checked against the paper's
         #: invariants; :class:`repro.lint.PartitionValidityError` is raised
         #: at the first violating phase.
-        self.validate = validate
+        self.validate = config.validate
         #: Points-to precision tier used by :meth:`prepare`.
-        self.pointsto_tier = pointsto_tier
+        self.pointsto_tier = config.pointsto_tier
+
+    @classmethod
+    def from_config(
+        cls,
+        config,
+        machine: Optional[Machine] = None,
+        gdp_config: Optional[GDPConfig] = None,
+        rhop_config: Optional[RHOPConfig] = None,
+    ) -> "Pipeline":
+        """The non-deprecated constructor: everything from a RunConfig."""
+        return cls(
+            machine=machine, gdp_config=gdp_config, rhop_config=rhop_config,
+            config=config,
+        )
 
     def prepare(self, source: str, name: str = "program") -> PreparedProgram:
-        return PreparedProgram.from_source(
-            source, name, pointsto_tier=self.pointsto_tier
+        return PreparedProgram.from_source(source, name, config=self.config)
+
+    def _cache(self):
+        from ..exec.cache import ArtifactCache
+
+        return ArtifactCache(self.config.cache_dir, self.config.cache)
+
+    def _cache_usable(self) -> bool:
+        """The artifact cache only answers for results that are a pure
+        function of the RunConfig key — custom partitioner configs are
+        outside it."""
+        return (
+            self.config.cacheable_results
+            and self.gdp_config is None
+            and self.rhop_config is None
         )
 
     def run(
@@ -59,6 +118,7 @@ class Pipeline:
             rhop_config=self.rhop_config,
             object_home=object_home,
             validate=self.validate if validate is None else validate,
+            seed_offset=self.config.seed,
         )
 
     def run_all(
@@ -67,9 +127,23 @@ class Pipeline:
         schemes: Iterable[str] = ("unified", "gdp", "profilemax", "naive"),
     ) -> Dict[str, SchemeOutcome]:
         """Run each distinct scheme once, in first-seen order (a caller
-        passing a list that repeats a scheme doesn't pay for it twice)."""
+        passing a list that repeats a scheme doesn't pay for it twice).
+        With a cache-enabled config, each scheme is served from / stored
+        into the artifact cache via the execution engine."""
+        if not self._cache_usable():
+            return {
+                name: self.run(prepared, name)
+                for name in dict.fromkeys(schemes)
+            }
+        from ..exec.engine import run_prepared_scheme
+
+        cache = self._cache()
         return {
-            name: self.run(prepared, name) for name in dict.fromkeys(schemes)
+            name: run_prepared_scheme(
+                prepared, self.machine, self.config, name, cache,
+                validate=self.validate,
+            )[0]
+            for name in dict.fromkeys(schemes)
         }
 
     def compare(

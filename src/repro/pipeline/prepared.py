@@ -15,19 +15,41 @@ from ..analysis import (
     ProgramGraph,
     annotate_memory_ops,
 )
-from ..ir import Module, clone_module, verify_module
+from ..ir import Module, clone_module, renumber_ops
 from ..lang import compile_source
 from ..partition.merges import MergeResult, access_pattern_merge
 from ..profiler import Interpreter, ProfileData
+
+#: Sentinel distinguishing "kwarg not passed" from an explicit value, so
+#: the deprecation shim only warns on actual legacy spellings.
+_UNSET = object()
+
+
+def _resolve_tier(owner: str, pointsto_tier, config, legacy_warn: bool) -> str:
+    if pointsto_tier is not _UNSET:
+        if legacy_warn:
+            from ..exec.runconfig import warn_legacy_kwarg
+
+            warn_legacy_kwarg(owner, "pointsto_tier", "pointsto_tier")
+        return pointsto_tier
+    if config is not None:
+        return config.pointsto_tier
+    return "andersen"
 
 
 class PreparedProgram:
     """A compiled, profiled, annotated program ready for partitioning.
 
-    ``pointsto_tier`` selects the precision tier of the points-to solve
-    that annotates the memory ops (``"andersen"`` | ``"field"`` |
-    ``"cs"``); everything downstream — object table, access-pattern
-    merge, GDP, memory locks — consumes the chosen tier's annotations.
+    The points-to precision tier (``"andersen"`` | ``"field"`` | ``"cs"``)
+    selecting the solve that annotates the memory ops comes from
+    ``config`` (a :class:`~repro.exec.RunConfig`); everything downstream —
+    object table, access-pattern merge, GDP, memory locks — consumes the
+    chosen tier's annotations.  The bare ``pointsto_tier=`` keyword still
+    works but is deprecated (DESIGN.md section 8).
+
+    ``profile`` and ``pointsto`` let the artifact cache rehydrate a
+    prepared program without re-interpreting or re-solving: the serialized
+    module text already carries the ``mem_objects`` annotations.
     """
 
     def __init__(
@@ -35,7 +57,10 @@ class PreparedProgram:
         module: Module,
         profile: Optional[ProfileData] = None,
         max_steps: int = 50_000_000,
-        pointsto_tier: str = "andersen",
+        pointsto_tier=_UNSET,
+        config=None,
+        pointsto: Optional[PointsToResult] = None,
+        _legacy_warn: bool = True,
     ):
         self.module = module
         if profile is None:
@@ -45,10 +70,15 @@ class PreparedProgram:
         else:
             self.result = None
         self.profile = profile
-        self.pointsto_tier = pointsto_tier
-        self.pointsto: PointsToResult = annotate_memory_ops(
-            module, tier=pointsto_tier
+        self.pointsto_tier = _resolve_tier(
+            "PreparedProgram", pointsto_tier, config, _legacy_warn
         )
+        self.pointsto: PointsToResult = (
+            pointsto
+            if pointsto is not None
+            else annotate_memory_ops(module, tier=self.pointsto_tier)
+        )
+        self._fingerprint: Optional[str] = None
         self.objects = ObjectTable(module, dict(profile.heap_sizes))
         self.block_freq: Callable[[str, str], float] = profile.frequency_fn()
         self.program_graph = ProgramGraph(module, self.block_freq)
@@ -69,12 +99,16 @@ class PreparedProgram:
         unroll_factor: Optional[int] = None,
         if_convert: bool = True,
         optimize: bool = True,
-        pointsto_tier: str = "andersen",
+        pointsto_tier=_UNSET,
+        config=None,
     ) -> "PreparedProgram":
         """Compile MiniC source — with if-conversion, loop unrolling and
         scalar optimization by default, recovering the region-level ILP
         and code quality of the paper's hyperblock-forming compiler —
         then profile and prepare it."""
+        tier = _resolve_tier(
+            "PreparedProgram.from_source", pointsto_tier, config, True
+        )
         if unroll_factor is None:
             unroll_factor = cls.DEFAULT_UNROLL
         module = compile_source(
@@ -84,7 +118,24 @@ class PreparedProgram:
             from ..opt import optimize_module
 
             optimize_module(module)
-        return cls(module, max_steps=max_steps, pointsto_tier=pointsto_tier)
+        # Canonicalize uid order before any uid-keyed side table exists:
+        # the optimizer creates ops out of textual order, and partitioner
+        # tie-breaks on relative uid order must match what a cache
+        # rehydration (uids in parse order) would produce.
+        renumber_ops(module)
+        return cls(
+            module, max_steps=max_steps, pointsto_tier=tier,
+            _legacy_warn=False,
+        )
+
+    def fingerprint(self) -> str:
+        """Content hash of the annotated module (memoized); the IR half of
+        every outcome-cache key."""
+        if self._fingerprint is None:
+            from ..exec.artifacts import module_fingerprint
+
+            self._fingerprint = module_fingerprint(self.module)
+        return self._fingerprint
 
     # -- per-scheme working copies -------------------------------------------------
 

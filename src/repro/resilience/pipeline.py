@@ -25,12 +25,10 @@ from __future__ import annotations
 import time
 from typing import Callable, Dict, Iterable, List, Optional
 
-from ..machine import Machine, two_cluster_machine
+from ..machine import Machine
 from ..partition.gdp import GDPConfig
 from ..partition.rhop import RHOPConfig
-from .budget import Budget
 from .errors import LadderExhausted, as_phase_error
-from .faults import FaultPlan
 from .report import RunReport
 
 #: The paper's quality ladder, best rung first (Table 1 order).
@@ -70,16 +68,35 @@ class ResilientOutcome:
         return f"<resilient {self.scheme}{via}: {self.outcome.cycles:.0f} cycles>"
 
 
+#: Sentinel distinguishing "kwarg not passed" from an explicit value.
+_UNSET = object()
+
+#: legacy keyword -> RunConfig field (the DESIGN.md section 8 mapping).
+_LEGACY_FIELDS = {
+    "retries": "retries",
+    "fallback": "fallback",
+    "validate": "validate",
+    "budget": "max_seconds",
+    "faults": "fault_spec",
+}
+
+
 class ResilientPipeline:
     """Runs schemes with retries, fallbacks, budgets, and fault injection.
 
+    Configuration comes from a :class:`~repro.exec.RunConfig` (see
+    :meth:`from_config`); the legacy ``retries=`` / ``fallback=`` /
+    ``validate=`` / ``budget=`` / ``faults=`` keywords still work behind
+    a deprecation shim (DESIGN.md section 8).  ``seed`` offsets every
+    attempt's base seed, so sweep cells with different RunConfig seeds
+    explore disjoint partitioner restarts.
+
     Example
     -------
-    >>> from repro.resilience import Budget, FaultPlan, ResilientPipeline
-    >>> pipe = ResilientPipeline(
-    ...     retries=1,
-    ...     budget=Budget(max_seconds=30),
-    ...     faults=FaultPlan.parse("raise:gdp@1"),
+    >>> from repro.exec import RunConfig
+    >>> from repro.resilience import ResilientPipeline
+    >>> pipe = ResilientPipeline.from_config(
+    ...     RunConfig(retries=1, max_seconds=30, fault_spec="raise:gdp@1")
     ... )
     """
 
@@ -88,26 +105,74 @@ class ResilientPipeline:
         machine: Optional[Machine] = None,
         gdp_config: Optional[GDPConfig] = None,
         rhop_config: Optional[RHOPConfig] = None,
-        retries: int = 1,
-        fallback: bool = True,
-        validate: bool = True,
-        budget: Optional[Budget] = None,
-        faults: Optional[FaultPlan] = None,
+        retries=_UNSET,
+        fallback=_UNSET,
+        validate=_UNSET,
+        budget=_UNSET,
+        faults=_UNSET,
         schedule_check: bool = True,
         clock: Callable[[], float] = time.perf_counter,
+        config=None,
     ):
-        if retries < 0:
-            raise ValueError("retries must be >= 0")
-        self.machine = machine or two_cluster_machine()
+        from ..exec.runconfig import RunConfig, warn_legacy_kwarg
+
+        legacy = {
+            "retries": retries, "fallback": fallback, "validate": validate,
+            "budget": budget, "faults": faults,
+        }
+        if config is None:
+            for kwarg, value in legacy.items():
+                if value is not _UNSET:
+                    warn_legacy_kwarg(
+                        "ResilientPipeline", kwarg, _LEGACY_FIELDS[kwarg]
+                    )
+            retries = 1 if retries is _UNSET else retries
+            if retries < 0:
+                raise ValueError("retries must be >= 0")
+            config = RunConfig(
+                retries=retries,
+                fallback=True if fallback is _UNSET else fallback,
+                validate=True if validate is _UNSET else validate,
+                cache="off",
+            )
+            self.budget = None if budget is _UNSET else budget
+            self.faults = None if faults is _UNSET else faults
+        else:
+            if any(value is not _UNSET for value in legacy.values()):
+                raise ValueError(
+                    "pass either config= or the legacy keywords, not both"
+                )
+            self.budget = config.build_budget()
+            self.faults = config.build_faults()
+        self.config = config
+        self.machine = (
+            machine if machine is not None else config.build_machine()
+        )
         self.gdp_config = gdp_config
         self.rhop_config = rhop_config
-        self.retries = retries
-        self.fallback = fallback
-        self.validate = validate
-        self.budget = budget
-        self.faults = faults
+        self.retries = config.retries
+        self.fallback = config.fallback
+        self.validate = config.validate
+        self.seed = config.seed
         self.schedule_check = schedule_check
         self._clock = clock
+
+    @classmethod
+    def from_config(
+        cls,
+        config,
+        machine: Optional[Machine] = None,
+        gdp_config: Optional[GDPConfig] = None,
+        rhop_config: Optional[RHOPConfig] = None,
+        clock: Callable[[], float] = time.perf_counter,
+    ) -> "ResilientPipeline":
+        """The non-deprecated constructor: everything from a RunConfig
+        (budget and fault plan are built fresh from ``max_seconds`` /
+        ``fault_spec``, so each pipeline owns its own mutable state)."""
+        return cls(
+            machine=machine, gdp_config=gdp_config, rhop_config=rhop_config,
+            clock=clock, config=config,
+        )
 
     # -- configuration plumbing ------------------------------------------------
 
@@ -184,7 +249,7 @@ class ResilientPipeline:
                 total_attempts += 1
                 if self.faults is not None:
                     self.faults.begin_attempt(rung, attempt)
-                seed_offset = (attempt - 1) * RESEED_STRIDE
+                seed_offset = self.seed + (attempt - 1) * RESEED_STRIDE
                 started = self._clock()
                 try:
                     outcome = run_scheme(

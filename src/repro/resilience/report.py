@@ -123,6 +123,16 @@ class RunReport:
         :meth:`PointsToStats.to_dict`)."""
         self._event("pointsto", tier=tier, stats=dict(stats))
 
+    def record_cache(self, kind: str, status: str, detail: str = "") -> None:
+        """Record an artifact-cache consultation (``kind`` is ``prepared``
+        or ``outcome``; ``status`` is ``hit`` / ``miss`` / ``stale``).
+        Carries no wall clocks, so it is stable under deterministic
+        serialisation."""
+        self._event("cache", cache=kind, status=status, detail=detail)
+
+    def cache_events(self) -> List[Dict[str, Any]]:
+        return [e for e in self.events if e["kind"] == "cache"]
+
     def record_final(self, requested: str, scheme: Optional[str], status: str) -> None:
         self._event(
             "final",
@@ -181,6 +191,11 @@ class RunReport:
         for event in self.events:
             copy = dict(event)
             if deterministic:
+                if copy["kind"] == "cache":
+                    # Cache locality depends on execution order (pool
+                    # workers race on shared artifacts) and on what
+                    # earlier runs left on disk — scrub like wall clocks.
+                    continue
                 for key in self._TIMING_KEYS:
                     if key in copy:
                         copy[key] = 0.0

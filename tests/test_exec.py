@@ -1,0 +1,470 @@
+"""Execution engine: RunConfig, artifact cache, parallel sweeps, shims."""
+
+import json
+import os
+import warnings
+
+import pytest
+
+from repro.exec import (
+    SCHEMA_VERSION,
+    ArtifactCache,
+    ParallelRunner,
+    RunConfig,
+    canonical_key,
+    load_or_prepare,
+    run_prepared_scheme,
+)
+from repro.exec.artifacts import (
+    outcome_key_material,
+    prepared_key_material,
+)
+from repro.pipeline import Pipeline, PreparedProgram
+from repro.resilience import ResilientPipeline
+
+SOURCE = """
+int N = 12;
+int a[12];
+int b[12];
+int main() {
+  int i;
+  for (i = 0; i < N; i = i + 1) { a[i] = i * 3; }
+  for (i = 0; i < N; i = i + 1) { b[i] = a[i] + a[(i + 1) % N]; }
+  print_int(b[5]);
+  return 0;
+}
+"""
+
+#: The same program with one constant changed — a real IR mutation.
+MUTATED_SOURCE = SOURCE.replace("i * 3", "i * 5")
+
+
+@pytest.fixture(scope="module")
+def tiny_prepared():
+    return PreparedProgram.from_source(SOURCE, "tiny")
+
+
+# -- RunConfig ----------------------------------------------------------------
+
+
+class TestRunConfig:
+    def test_round_trip(self):
+        cfg = RunConfig(scheme="profilemax", latency=10, seed=3,
+                        pointsto_tier="field", jobs=2, cache="readonly")
+        assert RunConfig.from_json(cfg.to_json()) == cfg
+
+    def test_defaults_round_trip(self):
+        assert RunConfig.from_json(RunConfig().to_json()) == RunConfig()
+
+    def test_unknown_field_rejected(self):
+        data = RunConfig().to_dict()
+        data["frobnicate"] = True
+        with pytest.raises(ValueError, match="frobnicate"):
+            RunConfig.from_dict(data)
+
+    def test_future_schema_version_rejected(self):
+        data = RunConfig().to_dict()
+        data["schema_version"] = SCHEMA_VERSION + 1
+        with pytest.raises(ValueError, match="schema_version"):
+            RunConfig.from_dict(data)
+
+    @pytest.mark.parametrize("field,value", [
+        ("scheme", "bogus"),
+        ("pointsto_tier", "bogus"),
+        ("machine", "bogus"),
+        ("cache", "bogus"),
+        ("retries", -1),
+        ("jobs", 0),
+        ("max_seconds", -1.0),
+    ])
+    def test_invalid_values_rejected(self, field, value):
+        with pytest.raises(ValueError):
+            RunConfig(**{field: value})
+
+    def test_replace_is_fresh_frozen_copy(self):
+        cfg = RunConfig()
+        other = cfg.replace(scheme="naive")
+        assert other.scheme == "naive" and cfg.scheme == "gdp"
+        with pytest.raises(Exception):
+            cfg.scheme = "naive"  # frozen
+
+    def test_cache_key_material_excludes_how_knobs(self):
+        material = RunConfig(jobs=7, retries=5, cache="refresh").cache_key_material()
+        assert "jobs" not in material and "retries" not in material
+        assert material["scheme"] == "gdp" and material["latency"] == 5
+
+    def test_cacheable_results_gates(self):
+        assert RunConfig().cacheable_results
+        assert not RunConfig(cache="off").cacheable_results
+        assert not RunConfig(max_seconds=1.0).cacheable_results
+        assert not RunConfig(fault_spec="raise:gdp").cacheable_results
+
+    def test_effective_jobs(self):
+        assert RunConfig(jobs=3).effective_jobs == 3
+        assert RunConfig().effective_jobs >= 1
+
+    def test_build_machine_presets(self):
+        assert RunConfig(machine="two_cluster", latency=10).build_machine().move_latency == 10
+        assert RunConfig(machine="four_cluster").build_machine().num_clusters == 4
+        assert RunConfig(machine="single_cluster").build_machine().num_clusters == 1
+
+
+# -- Legacy keyword shims -----------------------------------------------------
+
+
+class TestLegacyKwargShims:
+    def test_pipeline_validate_warns(self):
+        with pytest.warns(DeprecationWarning, match="RunConfig.validate"):
+            pipe = Pipeline(validate=True)
+        assert pipe.validate is True
+
+    def test_pipeline_pointsto_tier_warns(self):
+        with pytest.warns(DeprecationWarning, match="pointsto_tier"):
+            pipe = Pipeline(pointsto_tier="field")
+        assert pipe.pointsto_tier == "field"
+
+    def test_resilient_legacy_kwargs_warn(self):
+        with pytest.warns(DeprecationWarning, match="ResilientPipeline"):
+            pipe = ResilientPipeline(retries=2, fallback=False)
+        assert pipe.retries == 2 and pipe.fallback is False
+
+    def test_prepared_from_source_tier_warns(self):
+        with pytest.warns(DeprecationWarning, match="pointsto_tier"):
+            PreparedProgram.from_source(SOURCE, "tiny", pointsto_tier="field")
+
+    def test_from_config_does_not_warn(self):
+        cfg = RunConfig(validate=True, pointsto_tier="field", retries=2)
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", DeprecationWarning)
+            pipe = Pipeline.from_config(cfg)
+            res = ResilientPipeline.from_config(cfg)
+            PreparedProgram.from_source(SOURCE, "tiny", config=cfg)
+        assert pipe.validate and pipe.pointsto_tier == "field"
+        assert res.retries == 2 and res.seed == 0
+
+    def test_config_and_legacy_kwargs_conflict(self):
+        with pytest.raises(ValueError):
+            Pipeline(validate=True, config=RunConfig())
+        with pytest.raises(ValueError):
+            ResilientPipeline(retries=1, config=RunConfig())
+
+    def test_legacy_defaults_preserved(self):
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", DeprecationWarning)
+            pipe = Pipeline()
+            res = ResilientPipeline()
+        assert pipe.validate is False and pipe.config.cache == "off"
+        assert res.validate is True and res.retries == 1 and res.fallback
+
+
+# -- Artifact cache -----------------------------------------------------------
+
+
+class TestArtifactCache:
+    def test_prepared_miss_then_hit(self, tmp_path):
+        cfg = RunConfig(cache_dir=str(tmp_path))
+        cache = ArtifactCache(cfg.cache_dir, cfg.cache)
+        _p1, hash1, status1 = load_or_prepare(SOURCE, "tiny", cfg, cache)
+        _p2, hash2, status2 = load_or_prepare(SOURCE, "tiny", cfg, cache)
+        assert (status1, status2) == ("miss", "hit")
+        assert hash1 == hash2
+        assert cache.hits == 1 and cache.misses == 1 and cache.stores == 1
+
+    def test_ir_mutation_invalidates(self, tmp_path):
+        cfg = RunConfig(cache_dir=str(tmp_path))
+        cache = ArtifactCache(cfg.cache_dir, cfg.cache)
+        _p, hash1, _ = load_or_prepare(SOURCE, "tiny", cfg, cache)
+        _p, hash2, status = load_or_prepare(MUTATED_SOURCE, "tiny", cfg, cache)
+        assert status == "miss", "a mutated program must never hit"
+        assert hash1 != hash2, "IR mutation must change the module hash"
+
+    def test_outcome_roundtrip_preserves_result(self, tmp_path, tiny_prepared):
+        cfg = RunConfig(cache_dir=str(tmp_path))
+        cache = ArtifactCache(cfg.cache_dir, cfg.cache)
+        machine = cfg.build_machine()
+        fresh, s1 = run_prepared_scheme(tiny_prepared, machine, cfg, "gdp", cache)
+        warm, s2 = run_prepared_scheme(tiny_prepared, machine, cfg, "gdp", cache)
+        assert (s1, s2) == ("miss", "hit")
+        assert warm.cycles == fresh.cycles
+        assert warm.dynamic_moves == fresh.dynamic_moves
+        assert warm.object_home == fresh.object_home
+        assert warm.scheme == "gdp" and warm.module.op_count() > 0
+        assert len(warm.assignment) == len(fresh.assignment)
+
+    def test_seed_and_machine_in_outcome_key(self, tiny_prepared):
+        machine = RunConfig().build_machine()
+        base = outcome_key_material("abc", machine, "andersen", "gdp", 0)
+        seeded = outcome_key_material("abc", machine, "andersen", "gdp", 7)
+        other = outcome_key_material(
+            "abc", RunConfig(latency=1).build_machine(), "andersen", "gdp", 0
+        )
+        assert canonical_key(base) != canonical_key(seeded)
+        assert canonical_key(base) != canonical_key(other)
+
+    def test_stale_schema_entry_dropped(self, tmp_path):
+        cache = ArtifactCache(str(tmp_path), "on")
+        material = prepared_key_material("src", "x", "andersen")
+        cache.store("prepared", material, {"payload": 1})
+        key = canonical_key(material)
+        path = cache._path("prepared", key)
+        entry = json.load(open(path))
+        entry["schema"] = SCHEMA_VERSION + 1
+        json.dump(entry, open(path, "w"))
+        assert cache.load("prepared", material) is None
+        assert cache.stale == 1
+        assert not os.path.exists(path), "stale entries are deleted"
+
+    def test_corrupt_entry_dropped(self, tmp_path):
+        cache = ArtifactCache(str(tmp_path), "on")
+        material = prepared_key_material("src", "x", "andersen")
+        cache.store("prepared", material, {"payload": 1})
+        path = cache._path("prepared", canonical_key(material))
+        with open(path, "w") as fh:
+            fh.write("not json{")
+        assert cache.load("prepared", material) is None
+        assert cache.stale == 1
+
+    def test_policies(self, tmp_path):
+        material = prepared_key_material("src", "x", "andersen")
+        on = ArtifactCache(str(tmp_path), "on")
+        assert on.store("prepared", material, {"v": 1})
+        readonly = ArtifactCache(str(tmp_path), "readonly")
+        assert readonly.load("prepared", material) == {"v": 1}
+        assert not readonly.store("prepared", material, {"v": 2})
+        refresh = ArtifactCache(str(tmp_path), "refresh")
+        assert refresh.load("prepared", material) is None  # forced recompute
+        assert refresh.store("prepared", material, {"v": 3})
+        off = ArtifactCache(str(tmp_path), "off")
+        assert off.load("prepared", material) is None
+        assert not off.store("prepared", material, {"v": 4})
+
+    def test_stats_gc_clear(self, tmp_path):
+        cache = ArtifactCache(str(tmp_path), "on")
+        for i in range(3):
+            cache.store(
+                "prepared",
+                prepared_key_material(f"src{i}", "x", "andersen"),
+                {"v": i},
+            )
+        stats = cache.stats()
+        assert stats["entries"] == 3 and stats["disk"]["prepared"]["entries"] == 3
+        assert cache.gc(max_age_days=1)["removed"] == 0
+        assert cache.gc(max_bytes=0)["removed"] == 3
+        cache.store(
+            "prepared", prepared_key_material("z", "x", "andersen"), {"v": 9}
+        )
+        assert cache.clear() == 1
+        assert cache.stats()["entries"] == 0
+
+
+# -- Pipeline on the engine ---------------------------------------------------
+
+
+class TestPipelineCachePath:
+    def test_run_all_served_from_cache(self, tmp_path, tiny_prepared, monkeypatch):
+        cfg = RunConfig(cache_dir=str(tmp_path))
+        first = Pipeline.from_config(cfg).run_all(tiny_prepared)
+        # Second pipeline must answer entirely from the artifact store:
+        # recomputing is made impossible.
+        import repro.pipeline.schemes as schemes
+
+        def boom(*a, **k):
+            raise AssertionError("cache miss: run_scheme was called")
+
+        monkeypatch.setattr(schemes, "run_scheme", boom)
+        second = Pipeline.from_config(cfg).run_all(tiny_prepared)
+        for name, outcome in first.items():
+            assert second[name].cycles == outcome.cycles
+
+    def test_custom_partitioner_config_bypasses_cache(self, tmp_path, tiny_prepared):
+        from repro.partition.rhop import RHOPConfig
+
+        cfg = RunConfig(cache_dir=str(tmp_path))
+        pipe = Pipeline.from_config(cfg, rhop_config=RHOPConfig())
+        assert not pipe._cache_usable()
+        outcomes = pipe.run_all(tiny_prepared, ["unified"])
+        assert outcomes["unified"].cycles > 0
+        assert ArtifactCache(str(tmp_path), "on").stats()["entries"] == 0
+
+
+# -- Parallel sweeps ----------------------------------------------------------
+
+
+class TestParallelRunner:
+    def test_serial_and_parallel_byte_identical(self, tmp_path):
+        sources = {"tiny": SOURCE}
+        serial = ParallelRunner(
+            RunConfig(cache_dir=str(tmp_path / "serial"))
+        ).sweep(["tiny"], schemes=("unified", "gdp"), sources=sources, jobs=1)
+        parallel = ParallelRunner(
+            RunConfig(cache_dir=str(tmp_path / "parallel"))
+        ).sweep(["tiny"], schemes=("unified", "gdp"), sources=sources, jobs=2)
+        assert serial.jobs == 1 and parallel.jobs == 2
+        assert serial.to_json(deterministic=True) == parallel.to_json(
+            deterministic=True
+        )
+        assert [c["status"] for c in serial.cells] == ["ok", "ok"]
+
+    def test_warm_sweep_hits_cache(self, tmp_path):
+        runner = ParallelRunner(RunConfig(cache_dir=str(tmp_path)))
+        sources = {"tiny": SOURCE}
+        cold = runner.sweep(["tiny"], schemes=("unified", "gdp"),
+                            sources=sources, jobs=1)
+        warm = runner.sweep(["tiny"], schemes=("unified", "gdp"),
+                            sources=sources, jobs=1)
+        assert cold.cache_hit_ratio("outcome") == 0.0
+        assert warm.cache_hit_ratio("outcome") == 1.0
+        for i, cell in enumerate(warm.cells):
+            assert cell["cycles"] == cold.cells[i]["cycles"]
+
+    def test_failed_cell_degrades_not_kills(self, tmp_path):
+        cfg = RunConfig(
+            cache_dir=str(tmp_path), fault_spec="seed=3;raise:unified",
+            fallback=False, retries=0,
+        )
+        result = ParallelRunner(cfg).sweep(
+            ["tiny"], schemes=("unified", "gdp"),
+            sources={"tiny": SOURCE}, jobs=1,
+        )
+        by_scheme = {c["scheme"]: c for c in result.cells}
+        assert by_scheme["unified"]["status"] == "failed"
+        assert by_scheme["unified"]["error"]
+        assert by_scheme["gdp"]["status"] == "ok"
+        assert result.counts() == {"ok": 1, "degraded": 0, "failed": 1}
+
+    def test_fallback_cell_reports_degraded(self, tmp_path):
+        cfg = RunConfig(
+            cache_dir=str(tmp_path), fault_spec="seed=3;raise:gdp",
+            fallback=True, retries=0,
+        )
+        result = ParallelRunner(cfg).sweep(
+            ["tiny"], schemes=("gdp",), sources={"tiny": SOURCE}, jobs=1
+        )
+        cell = result.cells[0]
+        assert cell["status"] == "degraded"
+        assert cell["ran_as"] == "profilemax"
+        assert result.summary()["fallbacks"] == 1
+
+    def test_unknown_bench_fails_cell(self, tmp_path):
+        result = ParallelRunner(
+            RunConfig(cache_dir=str(tmp_path))
+        ).sweep(["no-such-bench"], schemes=("unified",), jobs=1)
+        assert result.cells[0]["status"] == "failed"
+
+    def test_sweep_report_merges_cache_and_speedup_columns(self, tmp_path):
+        runner = ParallelRunner(RunConfig(cache_dir=str(tmp_path)))
+        result = runner.sweep(["tiny"], schemes=("unified", "gdp"),
+                              sources={"tiny": SOURCE}, jobs=1)
+        payload = result.to_dict()
+        assert payload["jobs"] == 1
+        assert payload["wall_seconds"] > 0
+        assert payload["cache"]["outcome"]["miss"] == 2
+        assert "speedup" in payload
+        table = result.render_table()
+        assert "cache" in table and "speedup" in table
+
+
+# -- CLI ----------------------------------------------------------------------
+
+
+class TestCli:
+    @pytest.fixture()
+    def demo_file(self, tmp_path):
+        path = tmp_path / "demo.mc"
+        path.write_text(SOURCE)
+        return str(path)
+
+    def test_config_show_json_round_trips(self, capsys):
+        from repro.cli import main
+
+        assert main(["config", "show", "--format", "json", "--seed", "9",
+                     "--pointsto", "field", "--jobs", "2"]) == 0
+        cfg = RunConfig.from_json(capsys.readouterr().out)
+        assert cfg.seed == 9 and cfg.pointsto_tier == "field" and cfg.jobs == 2
+
+    def test_config_show_text(self, capsys):
+        from repro.cli import main
+
+        assert main(["config", "show"]) == 0
+        out = capsys.readouterr().out
+        assert "scheme" in out and "cache" in out
+
+    def test_partition_warm_cache_and_exit_codes(self, demo_file, tmp_path, capsys):
+        from repro.cli import main
+
+        cache_dir = str(tmp_path / "cache")
+        argv = ["partition", demo_file, "--cache", "on",
+                "--cache-dir", cache_dir]
+        assert main(argv) == 0
+        first = capsys.readouterr().out
+        assert main(argv) == 0
+        second = capsys.readouterr().out
+        assert first.splitlines()[0] == second.splitlines()[0]
+        stats = ArtifactCache(cache_dir, "on").stats()
+        assert stats["disk"]["prepared"]["entries"] == 1
+        assert stats["disk"]["outcome"]["entries"] == 1
+
+    def test_partition_fallback_exits_degraded(self, demo_file, capsys):
+        from repro.cli import main
+
+        code = main(["partition", demo_file, "--fallback", "--retries", "0",
+                     "--fault-spec", "seed=3;raise:gdp"])
+        out = capsys.readouterr().out
+        assert code == 1, out
+        assert "fallback from gdp" in out
+
+    def test_partition_exhausted_exits_hard(self, demo_file, capsys):
+        from repro.cli import main
+
+        code = main(["partition", demo_file, "--retries", "0",
+                     "--scheme", "unified",
+                     "--fault-spec", "seed=3;raise:unified"])
+        assert code == 2
+
+    def test_cache_cli_stats_gc_clear(self, tmp_path, capsys):
+        from repro.cli import main
+
+        cache_dir = str(tmp_path)
+        cache = ArtifactCache(cache_dir, "on")
+        cache.store("prepared",
+                    prepared_key_material("s", "x", "andersen"), {"v": 1})
+        assert main(["cache", "stats", "--cache-dir", cache_dir,
+                     "--format", "json"]) == 0
+        stats = json.loads(capsys.readouterr().out)
+        assert stats["entries"] == 1
+        assert main(["cache", "gc", "--cache-dir", cache_dir,
+                     "--max-bytes", "0"]) == 0
+        assert "removed 1" in capsys.readouterr().out
+        cache.store("prepared",
+                    prepared_key_material("s2", "x", "andersen"), {"v": 2})
+        assert main(["cache", "clear", "--cache-dir", cache_dir]) == 0
+        assert ArtifactCache(cache_dir, "on").stats()["entries"] == 0
+
+    def test_bench_all_sweep(self, tmp_path, capsys):
+        from repro.cli import main
+
+        code = main(["bench", "rawcaudio", "--all", "--jobs", "1",
+                     "--cache", "on", "--cache-dir", str(tmp_path)])
+        out = capsys.readouterr().out
+        assert code == 0, out
+        assert "speedup" in out and "rawcaudio" in out
+
+
+# -- RunReport cache events ---------------------------------------------------
+
+
+class TestReportCacheEvents:
+    def test_cache_events_recorded_and_scrubbed(self):
+        from repro.resilience import RunReport
+
+        report = RunReport()
+        report.record_cache("outcome", "hit")
+        report.record_run("gdp", ["gdp"])
+        report.record_final("gdp", "gdp", "ok")
+        assert report.cache_events()[0]["status"] == "hit"
+        full = report.to_dict()
+        deterministic = report.to_dict(deterministic=True)
+        assert any(e["kind"] == "cache" for e in full["events"])
+        assert not any(
+            e["kind"] == "cache" for e in deterministic["events"]
+        ), "cache locality must not leak into deterministic serialisation"
