@@ -66,6 +66,53 @@ def test_sec45_compile_time(benchmark):
     assert abs(gdp_total - naive_total) < 0.7 * max(gdp_total, naive_total)
 
 
+def test_sec45_lint_stats_reuse():
+    """The lint CLI's per-tier stats footer used to re-solve all three
+    points-to tiers from scratch after the refinement differ pass had
+    already solved them inside the (then discarded) pass context.
+    ``lint_with_stats`` hands the context back, so the footer now reads
+    the memoized solutions.  Measure the marginal cost of both shapes."""
+    import time
+
+    from repro.analysis.pointsto import TIERS, solve_pointsto
+    from repro.bench import get as get_benchmark
+    from repro.lang import compile_source
+    from repro.lint import DETERMINISTIC_COLUMNS, lint_with_stats
+
+    bench = get_benchmark("fir")
+    module = compile_source(bench.source, bench.name)
+
+    t0 = time.perf_counter()
+    _report, ctx = lint_with_stats(module)
+    t1 = time.perf_counter()
+    reused = {
+        tier: {
+            c: ctx.pointsto(tier).stats().to_dict()[c]
+            for c in DETERMINISTIC_COLUMNS
+        }
+        for tier in TIERS
+    }
+    t2 = time.perf_counter()
+    fresh = {
+        tier: {
+            c: solve_pointsto(module, tier).stats().to_dict()[c]
+            for c in DETERMINISTIC_COLUMNS
+        }
+        for tier in TIERS
+    }
+    t3 = time.perf_counter()
+
+    print()
+    print(
+        f"lint passes {t1 - t0:.3f}s; stats via context {t2 - t1:.4f}s; "
+        f"stats via re-solve {t3 - t2:.4f}s"
+    )
+    # Identical numbers either way...
+    assert reused == fresh
+    # ...but reading the memoized solutions must beat re-solving.
+    assert (t2 - t1) < (t3 - t2)
+
+
 def test_sec45_run_counts():
     gdp = resilient("rawcaudio", "gdp", LAT)
     pmax = resilient("rawcaudio", "profilemax", LAT)

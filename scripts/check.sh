@@ -1,56 +1,71 @@
 #!/usr/bin/env bash
-# Static-analysis smoke test:
-#   1. ruff + mypy over the tree (strict on src/repro/lint/, lenient
-#      elsewhere — see pyproject.toml); both are skipped with a notice
-#      when the tool is not installed.
-#   2. `repro lint` over every example program and every bundled
-#      benchmark: all must report ZERO errors (warnings are allowed).
+# Static-analysis smoke test, split into individually invocable stages:
 #
-# Usage: scripts/check.sh   (from the repository root)
+#   tools       ruff + mypy over the tree (strict on src/repro/lint/,
+#               lenient elsewhere — see pyproject.toml); each is skipped
+#               with a notice when the tool is not installed.
+#   examples    `repro lint` over every example program: zero errors.
+#   benches     `repro lint` over every bundled benchmark: zero errors.
+#   faults      fault-injection smoke (one spec per fault class) through
+#               the resilient pipeline's degradation ladder.
+#   ptdiff      points-to refinement differ over the whole suite.
+#   staticdiff  static-vs-dynamic drift differ over the whole suite:
+#               every static access bound must contain the observed
+#               dynamic counts/regions (zero violations).
+#   cache       artifact cache smoke (cold vs warm Table-1 sweep).
+#
+# Usage: scripts/check.sh [stage ...]   (from the repository root)
+#        no arguments runs every stage in order.
 set -u
 
 ROOT="$(cd "$(dirname "$0")/.." && pwd)"
 cd "$ROOT"
 export PYTHONPATH="$ROOT/src${PYTHONPATH:+:$PYTHONPATH}"
 
+STAGES="tools examples benches faults ptdiff staticdiff cache"
 failures=0
 
 note() { printf '== %s\n' "$*"; }
 
-# -- 1. optional tool gates ---------------------------------------------------
+# -- tools: optional ruff / mypy gates ----------------------------------------
 
-if command -v ruff >/dev/null 2>&1; then
-    note "ruff check"
-    ruff check src tests benchmarks examples || failures=$((failures + 1))
-else
-    note "ruff not installed - skipping (config lives in pyproject.toml)"
-fi
-
-if command -v mypy >/dev/null 2>&1; then
-    note "mypy (strict on repro.lint)"
-    mypy || failures=$((failures + 1))
-else
-    note "mypy not installed - skipping (config lives in pyproject.toml)"
-fi
-
-# -- 2. lint every example program -------------------------------------------
-
-note "repro lint over examples/ SOURCE programs"
-for example in examples/*.py; do
-    if grep -q '^SOURCE = """' "$example"; then
-        if python -m repro lint "$example"; then
-            note "ok: $example"
-        else
-            note "FAIL: $example"
-            failures=$((failures + 1))
-        fi
+stage_tools() {
+    if command -v ruff >/dev/null 2>&1; then
+        note "ruff check"
+        ruff check src tests benchmarks examples || failures=$((failures + 1))
+    else
+        note "ruff not installed - skipping (config lives in pyproject.toml)"
     fi
-done
 
-# -- 3. lint every bundled benchmark (zero errors required) -------------------
+    if command -v mypy >/dev/null 2>&1; then
+        note "mypy (strict on repro.lint)"
+        mypy || failures=$((failures + 1))
+    else
+        note "mypy not installed - skipping (config lives in pyproject.toml)"
+    fi
+}
 
-note "repro lint over the bundled benchmark suite"
-python - <<'PY' || failures=$((failures + 1))
+# -- examples: lint every example program -------------------------------------
+
+stage_examples() {
+    note "repro lint over examples/ SOURCE programs"
+    for example in examples/*.py; do
+        if grep -q '^SOURCE = """' "$example"; then
+            if python -m repro lint "$example"; then
+                note "ok: $example"
+            else
+                note "FAIL: $example"
+                failures=$((failures + 1))
+            fi
+        fi
+    done
+}
+
+# -- benches: lint every bundled benchmark (zero errors required) -------------
+
+stage_benches() {
+    note "repro lint over the bundled benchmark suite"
+    python - <<'PY' || failures=$((failures + 1))
 import sys
 
 from repro.bench import all_benchmarks
@@ -67,15 +82,17 @@ for bench in all_benchmarks():
         bad += 1
 sys.exit(1 if bad else 0)
 PY
+}
 
-# -- 4. fault-injection smoke (one spec per fault class) ----------------------
+# -- faults: fault-injection smoke (one spec per fault class) -----------------
 # Persistent faults must be survived via the degradation ladder with the
 # fallback recorded in the run report.  Exit codes are the uniform CLI
 # contract: 0 = clean, 1 = degraded-but-survived (fell back), 2 = hard
 # failure (never acceptable here).
 
-note "fault-injection smoke (resilient pipeline, one spec per fault class)"
-python - <<'PY' || failures=$((failures + 1))
+stage_faults() {
+    note "fault-injection smoke (resilient pipeline, one spec per fault class)"
+    python - <<'PY' || failures=$((failures + 1))
 import json
 import sys
 import tempfile
@@ -90,6 +107,9 @@ SPECS = [
     ("seed=7;corrupt-homes:gdp:2", True),
     ("seed=7;unlock:gdp:4", None),
     ("seed=7;slow-moves:4", None),
+    # A dead profiler degrades to the static profile rung, not to naive:
+    # the run must end on a profile-guided scheme with the fallback logged.
+    ("seed=7;raise:profiler", True),
 ]
 
 bad = 0
@@ -116,14 +136,16 @@ for spec, expect_fallback in SPECS:
     bad += 0 if ok else 1
 sys.exit(1 if bad else 0)
 PY
+}
 
-# -- 5. points-to refinement differ over the whole suite ----------------------
+# -- ptdiff: points-to refinement differ over the whole suite -----------------
 # Every sharper tier must be a refinement of the tier below on every
 # benchmark (pts_cs ⊆ pts_field ⊆ pts_andersen per memory op), and every
 # tier must contain the objects the interpreter actually touches.
 
-note "points-to refinement differ (all benches x all tiers + dynamic oracle)"
-python - <<'PY' || failures=$((failures + 1))
+stage_ptdiff() {
+    note "points-to refinement differ (all benches x all tiers + dynamic oracle)"
+    python - <<'PY' || failures=$((failures + 1))
 import sys
 
 from repro.bench import all_benchmarks
@@ -147,8 +169,45 @@ for bench in all_benchmarks():
         bad += 1
 sys.exit(1 if bad else 0)
 PY
+}
 
-# -- 6. artifact cache smoke (cold vs warm Table-1 sweep) ---------------------
+# -- staticdiff: static-vs-dynamic drift differ over the whole suite ----------
+# The abstract-interpretation access bounds must *contain* what the
+# interpreter actually observes on every benchmark: every executed block
+# within its static bound, every op's access weight within its bound,
+# every touched byte region inside its static region.  Zero violations.
+
+stage_staticdiff() {
+    note "static-vs-dynamic drift differ (all benches, zero violations)"
+    python - <<'PY' || failures=$((failures + 1))
+import sys
+
+from repro.bench import all_benchmarks
+from repro.lang import compile_source
+from repro.lint import diff_static_dynamic
+from repro.profiler import Interpreter
+
+bad = 0
+for bench in all_benchmarks():
+    module = compile_source(bench.source, bench.name)
+    interp = Interpreter(module)
+    interp.run()
+    report = diff_static_dynamic(module, interp.profile)
+    s = report.stats["staticdiff"]
+    status = "FAIL" if report.has_errors else "ok"
+    print(f"{status}: staticdiff {bench.name}: "
+          f"{s['violations']} violation(s), "
+          f"{s['ops_finite_bound']}/{s['ops_compared']} ops finite, "
+          f"{s['blocks_bounded']}/{s['blocks_measured']} blocks bounded, "
+          f"median weight ratio {s['median_weight_ratio']}")
+    if report.has_errors:
+        print(report.render_text())
+        bad += 1
+sys.exit(1 if bad else 0)
+PY
+}
+
+# -- cache: artifact cache smoke (cold vs warm Table-1 sweep) -----------------
 # The Table-1 sweep (all benches x all schemes, --jobs 2) runs twice
 # against a throwaway cache root: the second pass must serve >= 90% of
 # its cells from the outcome cache and reproduce every cell's result
@@ -156,10 +215,11 @@ PY
 # differ — a warm cell records no partitioner attempts).  Finishes with
 # a `repro cache stats` / `cache gc` smoke over the same store.
 
-note "artifact cache smoke (Table-1 sweep twice, --jobs 2, >=90% warm hits)"
-CACHE_TMP="$(mktemp -d)"
-trap 'rm -rf "$CACHE_TMP"' EXIT
-REPRO_CHECK_CACHE_DIR="$CACHE_TMP" python - <<'PY' || failures=$((failures + 1))
+stage_cache() {
+    note "artifact cache smoke (Table-1 sweep twice, --jobs 2, >=90% warm hits)"
+    CACHE_TMP="$(mktemp -d)"
+    trap 'rm -rf "$CACHE_TMP"' EXIT
+    REPRO_CHECK_CACHE_DIR="$CACHE_TMP" python - <<'PY' || failures=$((failures + 1))
 import os
 import sys
 
@@ -195,15 +255,37 @@ print(("ok" if not bad else "FAIL") + ": cold/warm Table-1 sweep")
 sys.exit(1 if bad else 0)
 PY
 
-note "repro cache stats / gc smoke"
-{
-    python -m repro cache stats --cache-dir "$CACHE_TMP" \
-        && python -m repro cache gc --cache-dir "$CACHE_TMP" --max-age-days 30 \
-        && python -m repro cache gc --cache-dir "$CACHE_TMP" --max-bytes 0 \
-        && python -m repro cache stats --cache-dir "$CACHE_TMP" --format json \
-            | python -c 'import json,sys; s=json.load(sys.stdin); sys.exit(0 if s["entries"] == 0 else 1)' \
-        && note "ok: cache stats/gc"
-} || { note "FAIL: cache stats/gc"; failures=$((failures + 1)); }
+    note "repro cache stats / gc smoke"
+    {
+        python -m repro cache stats --cache-dir "$CACHE_TMP" \
+            && python -m repro cache gc --cache-dir "$CACHE_TMP" --max-age-days 30 \
+            && python -m repro cache gc --cache-dir "$CACHE_TMP" --max-bytes 0 \
+            && python -m repro cache stats --cache-dir "$CACHE_TMP" --format json \
+                | python -c 'import json,sys; s=json.load(sys.stdin); sys.exit(0 if s["entries"] == 0 else 1)' \
+            && note "ok: cache stats/gc"
+    } || { note "FAIL: cache stats/gc"; failures=$((failures + 1)); }
+}
+
+# -- dispatch -----------------------------------------------------------------
+
+if [ "$#" -eq 0 ]; then
+    run="$STAGES"
+else
+    run="$*"
+    for stage in $run; do
+        case " $STAGES " in
+            *" $stage "*) ;;
+            *)
+                note "unknown stage '$stage' (stages: $STAGES)"
+                exit 2
+                ;;
+        esac
+    done
+fi
+
+for stage in $run; do
+    "stage_$stage"
+done
 
 if [ "$failures" -ne 0 ]; then
     note "$failures check group(s) failed"

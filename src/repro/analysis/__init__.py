@@ -1,5 +1,6 @@
 """Whole-program analyses: CFG, dominators, loops, liveness, def-use,
-call graph, points-to, data objects, and the program-level DFG."""
+call graph, points-to, data objects, the program-level DFG, and the
+abstract-interpretation dataflow framework (``analysis.dataflow``)."""
 
 from .callgraph import CallGraph
 from .cfg import CFG
@@ -20,8 +21,30 @@ from .pointsto import (
     heap_object_id,
     solve_pointsto,
 )
+from .dataflow import (
+    AccessRegionAnalysis,
+    DataflowProblem,
+    DataflowSolution,
+    ExecutionBounds,
+    Interval,
+    IntervalAnalysis,
+    Lattice,
+    SetLattice,
+    TripCounts,
+    solve,
+)
 
 __all__ = [
+    "AccessRegionAnalysis",
+    "DataflowProblem",
+    "DataflowSolution",
+    "ExecutionBounds",
+    "Interval",
+    "IntervalAnalysis",
+    "Lattice",
+    "SetLattice",
+    "TripCounts",
+    "solve",
     "CallGraph",
     "CFG",
     "DefUse",

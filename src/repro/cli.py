@@ -89,6 +89,18 @@ def _add_pointsto_flag(parser: argparse.ArgumentParser) -> None:
                         "context sensitivity on top)")
 
 
+def _add_profile_flag(parser: argparse.ArgumentParser) -> None:
+    from .exec.runconfig import PROFILE_MODES
+
+    parser.add_argument("--profile", default="dynamic",
+                        choices=list(PROFILE_MODES),
+                        help="profile source for the partitioners: "
+                        "'dynamic' interprets the program (the paper's "
+                        "execution profiling), 'static' derives weights "
+                        "and access regions from abstract interpretation "
+                        "with zero interpreter runs")
+
+
 def _add_exec_flags(parser: argparse.ArgumentParser) -> None:
     """The normalized flag set every evaluating subcommand accepts."""
     parser.add_argument("--seed", type=int, default=0, metavar="N",
@@ -135,6 +147,7 @@ def _config_from_args(args, **overrides) -> RunConfig:
     kwargs = dict(
         scheme=getattr(args, "scheme", "gdp"),
         pointsto_tier=getattr(args, "pointsto", "andersen"),
+        profile=getattr(args, "profile", "dynamic"),
         machine=getattr(args, "machine", "two_cluster"),
         latency=getattr(args, "latency", 5),
         seed=getattr(args, "seed", 0),
@@ -221,9 +234,9 @@ def _print_precision(prepared: PreparedProgram) -> None:
 
 def _partition(args) -> int:
     config = _config_from_args(args)
-    prepared = _prepared_from_config(args, config)
     if _wants_resilience(args):
-        return _partition_resilient(args, config, prepared)
+        return _partition_resilient(args, config)
+    prepared = _prepared_from_config(args, config)
     pipe = Pipeline.from_config(config)
     try:
         if config.cacheable_results:
@@ -255,12 +268,21 @@ def _partition_validity_error():
     return PartitionValidityError
 
 
-def _partition_resilient(args, config: RunConfig, prepared) -> int:
+def _partition_resilient(args, config: RunConfig) -> int:
     from .resilience import LadderExhausted, ResilientPipeline
+    from .profiler import InterpreterError
 
     pipe = ResilientPipeline.from_config(config.replace(validate=True))
     try:
-        result = pipe.run(prepared, args.scheme)
+        prepared, report = pipe.prepare(_read_source(args.file), args.name)
+    except InterpreterError as exc:
+        print(f"profiling failed beyond recovery: {exc}")
+        return EXIT_HARD_FAILURE
+    profile_degraded = (
+        config.profile == "dynamic" and prepared.profile.is_static()
+    )
+    try:
+        result = pipe.run(prepared, args.scheme, report=report)
     except LadderExhausted as exc:
         print(exc)
         if exc.run_report is not None:
@@ -274,6 +296,10 @@ def _partition_resilient(args, config: RunConfig, prepared) -> int:
         print(f"scheme:  {scheme} (fallback from {result.requested})")
     else:
         print(f"scheme:  {scheme}")
+    if profile_degraded:
+        print("profile: static (fallback from dynamic)")
+    else:
+        print(f"profile: {config.profile}")
     _print_precision(prepared)
     print(f"cycles:  {result.cycles:.0f}")
     print(f"dynamic intercluster moves: {result.dynamic_moves:.0f}")
@@ -286,14 +312,22 @@ def _partition_resilient(args, config: RunConfig, prepared) -> int:
             size = prepared.objects[obj].size
             print(f"  cluster {cluster}: {obj} ({size} bytes)")
     _save_run_report(args, result.report)
-    return EXIT_DEGRADED if result.fell_back else EXIT_OK
+    return EXIT_DEGRADED if result.fell_back or profile_degraded else EXIT_OK
 
 
-def _compare_resilient(args, config: RunConfig, prepared) -> int:
-    from .resilience import LadderExhausted, ResilientPipeline, RunReport
+def _compare_resilient(args, config: RunConfig) -> int:
+    from .resilience import LadderExhausted, ResilientPipeline
+    from .profiler import InterpreterError
 
     pipe = ResilientPipeline.from_config(config.replace(validate=True))
-    report = RunReport()
+    try:
+        prepared, report = pipe.prepare(_read_source(args.file), args.name)
+    except InterpreterError as exc:
+        print(f"profiling failed beyond recovery: {exc}")
+        return EXIT_HARD_FAILURE
+    profile_degraded = (
+        config.profile == "dynamic" and prepared.profile.is_static()
+    )
     report.record_pointsto(
         prepared.pointsto_tier, prepared.pointsto.stats().to_dict()
     )
@@ -305,7 +339,7 @@ def _compare_resilient(args, config: RunConfig, prepared) -> int:
         return EXIT_HARD_FAILURE
     base = outcomes["unified"].cycles
     rows = []
-    degraded = False
+    degraded = profile_degraded
     for name in ("unified", "gdp", "profilemax", "naive"):
         out = outcomes[name]
         degraded = degraded or out.fell_back
@@ -325,9 +359,9 @@ def _compare_resilient(args, config: RunConfig, prepared) -> int:
 
 def _compare(args) -> int:
     config = _config_from_args(args)
-    prepared = _prepared_from_config(args, config)
     if _wants_resilience(args):
-        return _compare_resilient(args, config, prepared)
+        return _compare_resilient(args, config)
+    prepared = _prepared_from_config(args, config)
     pipe = Pipeline.from_config(config)
     try:
         outcomes = pipe.run_all(prepared)
@@ -361,12 +395,12 @@ def _resolve_lint_path(path: str) -> str:
 
 
 def _lint(args) -> int:
+    from .analysis.pointsto import TIERS
     from .lint import (
         DETERMINISTIC_COLUMNS,
         Severity,
         check_scheme_outcome,
-        lint_module,
-        tier_solutions,
+        lint_with_stats,
     )
 
     config = _config_from_args(args)
@@ -389,7 +423,7 @@ def _lint(args) -> int:
 
     machine = config.build_machine()
     try:
-        report = lint_module(
+        report, ctx = lint_with_stats(
             module, machine=machine, only=args.only or None, profile=profile
         )
     except ValueError as exc:  # unknown pass name in --only
@@ -397,9 +431,11 @@ def _lint(args) -> int:
         return EXIT_HARD_FAILURE
 
     # Per-tier precision stats ride on the report (deterministic columns
-    # only, so --format json output is byte-stable across runs).
-    for tier, solution in tier_solutions(module).items():
-        stats = solution.stats().to_dict()
+    # only, so --format json output is byte-stable across runs).  The
+    # context memoizes the solves the differ pass already performed, so
+    # this costs nothing beyond any tier the passes skipped.
+    for tier in TIERS:
+        stats = ctx.pointsto(tier).stats().to_dict()
         report.stats[tier] = {c: stats[c] for c in DETERMINISTIC_COLUMNS}
 
     if args.verify_partition:
@@ -560,6 +596,7 @@ def build_parser() -> argparse.ArgumentParser:
                    "invariants (fails on any violation)")
     _add_machine_flags(p)
     _add_pointsto_flag(p)
+    _add_profile_flag(p)
     _add_exec_flags(p)
     _add_resilience_flags(p)
     p.set_defaults(func=_partition)
@@ -571,6 +608,7 @@ def build_parser() -> argparse.ArgumentParser:
                    help="validate each scheme's phase outputs while running")
     _add_machine_flags(p)
     _add_pointsto_flag(p)
+    _add_profile_flag(p)
     _add_exec_flags(p)
     _add_resilience_flags(p)
     p.set_defaults(func=_compare)
@@ -582,6 +620,7 @@ def build_parser() -> argparse.ArgumentParser:
                    "sweep (honours --jobs and the artifact cache)")
     _add_machine_flags(p)
     _add_pointsto_flag(p)
+    _add_profile_flag(p)
     _add_exec_flags(p)
     p.set_defaults(func=_bench)
 
@@ -619,6 +658,7 @@ def build_parser() -> argparse.ArgumentParser:
     _add_compile_flags(p)
     _add_machine_flags(p)
     _add_pointsto_flag(p)
+    _add_profile_flag(p)
     _add_exec_flags(p)
     p.set_defaults(func=_lint)
 
@@ -636,6 +676,7 @@ def build_parser() -> argparse.ArgumentParser:
                    help="resolve with validation enabled")
     _add_machine_flags(p)
     _add_pointsto_flag(p)
+    _add_profile_flag(p)
     _add_exec_flags(p)
     _add_resilience_flags(p)
     p.set_defaults(func=_config_show)

@@ -24,6 +24,7 @@ from .runconfig import (
     CACHE_POLICIES,
     MACHINE_PRESETS,
     POINTSTO_TIERS,
+    PROFILE_MODES,
     SCHEMA_VERSION,
     SCHEMES,
     RunConfig,
@@ -35,6 +36,7 @@ __all__ = [
     "CACHE_POLICIES",
     "MACHINE_PRESETS",
     "POINTSTO_TIERS",
+    "PROFILE_MODES",
     "ParallelRunner",
     "RunConfig",
     "SCHEMA_VERSION",

@@ -85,6 +85,12 @@ def profile_to_payload(
             for uid, counts in profile.op_object_counts.items()
             if uid in op_keys
         ),
+        "op_object_regions": sorted(
+            [op_keys[uid],
+             sorted([obj, lo, hi] for obj, (lo, hi) in regions.items())]
+            for uid, regions in profile.op_object_regions.items()
+            if uid in op_keys
+        ),
         "heap_sizes": dict(sorted(profile.heap_sizes.items())),
         "call_counts": dict(sorted(profile.call_counts.items())),
         "instructions_executed": profile.instructions_executed,
@@ -103,6 +109,12 @@ def profile_from_payload(
         uid = uid_by_key.get(key)
         if uid is not None:
             profile.op_object_counts[uid] = Counter(counts)
+    for key, regions in payload.get("op_object_regions", []):
+        uid = uid_by_key.get(key)
+        if uid is not None:
+            profile.op_object_regions[uid] = {
+                obj: (lo, hi) for obj, lo, hi in regions
+            }
     profile.heap_sizes.update(payload["heap_sizes"])
     profile.call_counts.update(payload["call_counts"])
     profile.instructions_executed = payload["instructions_executed"]
@@ -153,15 +165,19 @@ def prepared_key_material(
     name: str,
     pointsto_tier: str,
     max_steps: int = 50_000_000,
+    profile: str = "dynamic",
 ) -> Dict[str, Any]:
     """Cache key inputs for a prepared program (compile options are the
-    :meth:`PreparedProgram.from_source` defaults the engine always uses)."""
+    :meth:`PreparedProgram.from_source` defaults the engine always uses).
+    ``profile`` separates interpreted profiles from statically derived
+    ones — their counters differ, so they must never share an artifact."""
     return {
         "kind": "prepared",
         "source_sha": content_sha(source),
         "name": name,
         "pointsto_tier": pointsto_tier,
         "max_steps": max_steps,
+        "profile": profile,
     }
 
 
@@ -172,6 +188,7 @@ def prepared_to_payload(prepared) -> Dict[str, Any]:
     return {
         "name": prepared.module.name,
         "pointsto_tier": prepared.pointsto_tier,
+        "profile_mode": "static" if prepared.profile.is_static() else "dynamic",
         "ir_hash": content_sha(module_text),
         "module_text": module_text,
         "profile": profile_to_payload(prepared.profile, op_keys),
@@ -189,11 +206,19 @@ def prepared_from_payload(payload: Dict[str, Any]):
     from ..pipeline.prepared import PreparedProgram
 
     module = loads(payload["module_text"])
-    profile = profile_from_payload(
-        payload["profile"], uids_by_stable_key(module)
-    )
     pointsto = CachedPointsTo(
         payload["pointsto_tier"], payload["pointsto_stats"]
+    )
+    if payload.get("profile_mode", "dynamic") == "static":
+        # Static profiles are pure functions of the annotated module, and
+        # rebuilding them is cheap (no interpretation) — cheaper and more
+        # robust than persisting the infinite-valued bound tables.
+        return PreparedProgram(
+            module, pointsto=pointsto, profile_mode="static",
+            pointsto_tier=payload["pointsto_tier"], _legacy_warn=False,
+        )
+    profile = profile_from_payload(
+        payload["profile"], uids_by_stable_key(module)
     )
     return PreparedProgram(
         module, profile=profile, pointsto=pointsto,

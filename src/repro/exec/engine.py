@@ -66,7 +66,9 @@ def load_or_prepare(
     if not config.cache_enabled:
         prepared = PreparedProgram.from_source(source, name, config=config)
         return prepared, None, "off"
-    material = prepared_key_material(source, name, config.pointsto_tier)
+    material = prepared_key_material(
+        source, name, config.pointsto_tier, profile=config.profile
+    )
     payload = cache.load("prepared", material)
     if payload is not None:
         return prepared_from_payload(payload), payload["ir_hash"], "hit"
@@ -165,7 +167,7 @@ def run_cell(payload: Dict[str, Any]) -> Dict[str, Any]:
         ir_hash = None
         if config.cache_enabled:
             material = prepared_key_material(
-                source, name, config.pointsto_tier
+                source, name, config.pointsto_tier, profile=config.profile
             )
             prep_payload = cache.load("prepared", material)
             if prep_payload is not None:

@@ -33,10 +33,15 @@ from typing import Any, Dict, Optional
 #: removed, or change meaning; ``from_dict`` refuses other versions and
 #: the artifact cache treats entries written under other versions as
 #: stale.
-SCHEMA_VERSION = 1
+SCHEMA_VERSION = 2
 
 #: The schemes a config may request (Table 1 order).
 SCHEMES = ("gdp", "profilemax", "naive", "unified")
+
+#: Profile sources: ``dynamic`` interprets the program (the paper's
+#: execution profiling), ``static`` synthesizes a profile from the
+#: abstract-interpretation access-region analysis — zero interpreter runs.
+PROFILE_MODES = ("dynamic", "static")
 
 #: Points-to precision tiers (mirrors repro.analysis.TIERS without the
 #: import cycle; validated against the real registry lazily).
@@ -62,6 +67,7 @@ class RunConfig:
 
     scheme: str = "gdp"
     pointsto_tier: str = "andersen"
+    profile: str = "dynamic"
     machine: str = "two_cluster"
     latency: int = 5
     seed: int = 0
@@ -89,6 +95,11 @@ class RunConfig:
             raise ValueError(
                 f"unknown points-to tier {self.pointsto_tier!r}; "
                 f"one of {POINTSTO_TIERS}"
+            )
+        if self.profile not in PROFILE_MODES:
+            raise ValueError(
+                f"unknown profile mode {self.profile!r}; "
+                f"one of {PROFILE_MODES}"
             )
         if self.machine not in MACHINE_PRESETS:
             raise ValueError(
@@ -135,12 +146,14 @@ class RunConfig:
 
     def cache_key_material(self) -> Dict[str, Any]:
         """The canonical, result-affecting subset embedded in cache keys
-        (machine preset + latency, points-to tier, scheme, seed)."""
+        (machine preset + latency, points-to tier, profile mode, scheme,
+        seed)."""
         return {
             "schema_version": self.schema_version,
             "machine": self.machine,
             "latency": self.latency,
             "pointsto_tier": self.pointsto_tier,
+            "profile": self.profile,
             "scheme": self.scheme,
             "seed": self.seed,
         }

@@ -25,6 +25,7 @@ from .runner import (
     LintRunner,
     default_passes,
     lint_module,
+    lint_with_stats,
     register_pass,
 )
 from . import irlint  # noqa: F401  (imports register the default passes)
@@ -34,6 +35,11 @@ from .ptdiff import (
     diff_tiers,
     precision_table,
     tier_solutions,
+)
+from .staticdiff import (
+    StaticDriftPass,
+    diff_static_dynamic,
+    drift_summary,
 )
 from .partcheck import (
     check_data_partition,
@@ -55,12 +61,16 @@ __all__ = [
     "PASS_REGISTRY",
     "default_passes",
     "lint_module",
+    "lint_with_stats",
     "register_pass",
     "DETERMINISTIC_COLUMNS",
     "RefinementDifferPass",
     "diff_tiers",
     "precision_table",
     "tier_solutions",
+    "StaticDriftPass",
+    "diff_static_dynamic",
+    "drift_summary",
     "check_data_partition",
     "check_memory_locks",
     "check_moves",

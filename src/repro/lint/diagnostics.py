@@ -42,6 +42,18 @@ _SARIF_LEVEL: Dict[Severity, str] = {
 }
 
 
+#: Optional SARIF ``shortDescription`` text per rule id.  Only rules
+#: registered here get metadata in the SARIF rules array; unregistered
+#: rules keep the bare ``{"id": ...}`` form so historical golden logs
+#: stay byte-identical.
+RULE_METADATA: Dict[str, str] = {}
+
+
+def register_rule(rule: str, short_description: str) -> None:
+    """Attach SARIF ``shortDescription`` metadata to a rule id."""
+    RULE_METADATA[rule] = short_description
+
+
 def _render_stat(value: Any) -> str:
     if isinstance(value, dict):
         return "  ".join(f"{k}={value[k]}" for k in sorted(value))
@@ -237,9 +249,12 @@ class DiagnosticReport:
         ``func/block`` location as a logicalLocation and the operation
         text, when known, in the message.
         """
-        rules: List[Dict[str, Any]] = [
-            {"id": rule} for rule in sorted({d.rule for d in self.diagnostics})
-        ]
+        rules: List[Dict[str, Any]] = []
+        for rule in sorted({d.rule for d in self.diagnostics}):
+            entry: Dict[str, Any] = {"id": rule}
+            if rule in RULE_METADATA:
+                entry["shortDescription"] = {"text": RULE_METADATA[rule]}
+            rules.append(entry)
         results: List[Dict[str, Any]] = []
         for d in self.sorted():
             message = d.message

@@ -9,6 +9,7 @@ Rules
 ``uninitialized-read``   a use no definition reaches on any path (error)
 ``maybe-uninitialized``  a use some path reaches without a definition
 ``unused-global``        a module global no operation ever references
+``const-condition``      a CBR whose outcome the value-range analysis fixes
 ``pointsto-unknown``     a memory access whose target set is empty
 ``pointsto-imprecise``   a memory access that may touch every data object
 ``pointsto-tier-delta``  a sharper points-to tier shrinks some target sets
@@ -16,12 +17,17 @@ Rules
 
 from __future__ import annotations
 
-from typing import Dict, Iterator, List, Optional, Set
+from typing import Iterator, Optional, Set
 
-from ..ir import Function, GlobalAddress, Opcode, Operation
+from ..ir import GlobalAddress, Opcode, Operation
 from ..ir.verifier import module_errors
-from .diagnostics import Diagnostic, Severity
+from .diagnostics import Diagnostic, Severity, register_rule
 from .runner import LintContext, LintPass, register_pass
+
+register_rule(
+    "const-condition",
+    "branch condition proven constant by value-range analysis",
+)
 
 
 def _diag(
@@ -107,7 +113,7 @@ class DeadCodePass(LintPass):
             if not func.blocks:
                 continue
             defuse = ctx.defuse(func)
-            liveness = ctx.liveness(func)
+            liveness = ctx.live_facts(func)
             read_vids: Set[int] = set()
             for op in func.operations():
                 for src in op.register_srcs():
@@ -169,7 +175,7 @@ class UninitializedReadPass(LintPass):
             if not func.blocks:
                 continue
             defuse = ctx.defuse(func)
-            must_in = _must_defined_in(func, ctx)
+            must_in = ctx.must_defined(func)
             reachable = ctx.cfg(func).reachable()
             for block in func:
                 if block.name not in reachable:
@@ -199,42 +205,6 @@ class UninitializedReadPass(LintPass):
                         current.add(op.dest.vid)
 
 
-def _must_defined_in(func: Function, ctx: LintContext) -> Dict[str, Set[int]]:
-    """Forward must-reach solve: registers defined on *every* path into
-    each block (parameters count as defined at entry)."""
-    cfg = ctx.cfg(func)
-    all_vids: Set[int] = {p.vid for p in func.params}
-    block_defs: Dict[str, Set[int]] = {}
-    for block in func:
-        defs = {op.dest.vid for op in block.ops if op.dest is not None}
-        block_defs[block.name] = defs
-        all_vids |= defs
-
-    entry = cfg.entry
-    params = {p.vid for p in func.params}
-    must_in: Dict[str, Set[int]] = {
-        name: (set(params) if name == entry else set(all_vids))
-        for name in func.blocks
-    }
-    order = cfg.reverse_postorder()
-    changed = True
-    while changed:
-        changed = False
-        for name in order:
-            if name == entry:
-                continue
-            preds = cfg.predecessors(name)
-            if not preds:
-                continue
-            new_in = set(all_vids)
-            for pred in preds:
-                new_in &= must_in[pred] | block_defs[pred]
-            if new_in != must_in[name]:
-                must_in[name] = new_in
-                changed = True
-    return must_in
-
-
 @register_pass
 class UnusedGlobalPass(LintPass):
     """Module globals no operation ever takes the address of."""
@@ -256,6 +226,45 @@ class UnusedGlobalPass(LintPass):
                     f"global @{name} is never referenced",
                     hint="drop it; unused globals still consume scratchpad "
                     "bytes in the data-partition balance",
+                )
+
+
+@register_pass
+class ConstantConditionPass(LintPass):
+    """Conditional branches the value-range analysis proves one-sided.
+
+    The interprocedural interval analysis evaluates every reachable CBR
+    condition; when the interval excludes zero (always taken) or is the
+    constant zero (never taken), one successor edge is dead.  Dead edges
+    inflate the static frequency estimates and can hide real code behind
+    a branch that can never fire.
+    """
+
+    name = "constcond"
+    description = "provably constant branch conditions (dead branch edges)"
+
+    def run(self, ctx: LintContext) -> Iterator[Diagnostic]:
+        intervals = ctx.intervals()
+        for func in ctx.module:
+            if not func.blocks:
+                continue
+            for block, cbr, cond, taken in intervals.constant_conditions(
+                func.name
+            ):
+                dead = [t for t in cbr.targets if t != taken]
+                if not dead:
+                    continue
+                outcome = (
+                    "never true" if cond.is_const() and cond.lo == 0
+                    else f"always true (condition in {cond})"
+                )
+                yield _diag(
+                    Severity.WARNING, "const-condition",
+                    f"branch condition is {outcome}; edge to "
+                    f"{dead[0]} is never taken",
+                    func=func.name, block=block.name, op=cbr,
+                    hint="fold the branch or delete the dead successor; "
+                    "dead edges skew the static frequency estimates",
                 )
 
 

@@ -9,12 +9,14 @@ regardless of how many passes consume them.
 
 from __future__ import annotations
 
-from typing import Callable, Dict, Iterable, Iterator, List, Optional, Type
+from typing import Dict, Iterable, Iterator, List, Optional, Type
 
 from ..analysis.cfg import CFG
+from ..analysis.dataflow import IntervalAnalysis, LivenessFacts
+from ..analysis.dataflow import live_registers, must_defined_registers
 from ..analysis.defuse import DefUse
 from ..analysis.dominators import DominatorTree
-from ..analysis.liveness import Liveness
+from ..analysis.loops import LoopInfo
 from ..analysis.objects import ObjectTable
 from ..analysis.pointsto import PointsToResult, solve_pointsto
 from ..ir import Function, Module
@@ -43,9 +45,13 @@ class LintContext:
         self._cfg: Dict[str, CFG] = {}
         self._dom: Dict[str, DominatorTree] = {}
         self._defuse: Dict[str, DefUse] = {}
-        self._liveness: Dict[str, Liveness] = {}
+        self._loops: Dict[str, LoopInfo] = {}
+        self._live_facts: Dict[str, LivenessFacts] = {}
+        self._must_defined: Dict[str, Dict[str, set]] = {}
         self._pointsto: Dict[str, PointsToResult] = {}
         self._objects: Optional[ObjectTable] = None
+        self._intervals: Optional[IntervalAnalysis] = None
+        self._static_profile = None
 
     def cfg(self, func: Function) -> CFG:
         if func.name not in self._cfg:
@@ -62,15 +68,51 @@ class LintContext:
             self._defuse[func.name] = DefUse(func, self.cfg(func))
         return self._defuse[func.name]
 
-    def liveness(self, func: Function) -> Liveness:
-        if func.name not in self._liveness:
-            self._liveness[func.name] = Liveness(func, self.cfg(func))
-        return self._liveness[func.name]
+    def loops(self, func: Function) -> LoopInfo:
+        if func.name not in self._loops:
+            self._loops[func.name] = LoopInfo(
+                self.cfg(func), self.dominators(func)
+            )
+        return self._loops[func.name]
+
+    def live_facts(self, func: Function) -> LivenessFacts:
+        """Register liveness solved on the generic dataflow engine."""
+        if func.name not in self._live_facts:
+            self._live_facts[func.name] = live_registers(
+                func, self.cfg(func)
+            )
+        return self._live_facts[func.name]
+
+    def must_defined(self, func: Function) -> Dict[str, set]:
+        """Block name -> registers defined on *every* path to its entry."""
+        if func.name not in self._must_defined:
+            self._must_defined[func.name] = must_defined_registers(
+                func, self.cfg(func)
+            )
+        return self._must_defined[func.name]
+
+    def intervals(self) -> IntervalAnalysis:
+        """Module-wide interprocedural value-range analysis."""
+        if self._intervals is None:
+            self._intervals = IntervalAnalysis(self.module)
+        return self._intervals
 
     def pointsto(self, tier: str = "andersen") -> PointsToResult:
         if tier not in self._pointsto:
             self._pointsto[tier] = solve_pointsto(self.module, tier)
         return self._pointsto[tier]
+
+    def static_profile(self):
+        """Abstract-interpretation access profile (sound static bounds)."""
+        if self._static_profile is None:
+            from ..analysis.dataflow.staticprofile import (
+                build_static_profile,
+            )
+
+            self._static_profile = build_static_profile(
+                self.module, pointsto=self.pointsto()
+            )
+        return self._static_profile
 
     def objects(self) -> ObjectTable:
         if self._objects is None:
@@ -145,8 +187,11 @@ class LintRunner:
         self.passes.append(lint_pass)
         return self
 
-    def run(self, module: Module) -> DiagnosticReport:
-        ctx = LintContext(module, self.machine, profile=self.profile)
+    def run(
+        self, module: Module, ctx: Optional[LintContext] = None
+    ) -> DiagnosticReport:
+        if ctx is None:
+            ctx = LintContext(module, self.machine, profile=self.profile)
         report = DiagnosticReport()
         for lint_pass in self.passes:
             report.diagnostics.extend(lint_pass.run(ctx))
@@ -161,3 +206,21 @@ def lint_module(
 ) -> DiagnosticReport:
     """Run the default (or a named subset of) lint passes over ``module``."""
     return LintRunner(only=only, machine=machine, profile=profile).run(module)
+
+
+def lint_with_stats(
+    module: Module,
+    machine: Optional[Machine] = None,
+    only: Optional[Iterable[str]] = None,
+    profile=None,
+):
+    """Like :func:`lint_module`, but also return the :class:`LintContext`.
+
+    Callers wanting post-run facts (points-to precision stats, interval
+    envs, the static profile) read them off the returned context instead
+    of re-solving the analyses the passes already paid for.
+    """
+    runner = LintRunner(only=only, machine=machine, profile=profile)
+    ctx = LintContext(module, machine, profile=profile)
+    report = runner.run(module, ctx)
+    return report, ctx

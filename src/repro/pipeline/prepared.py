@@ -50,6 +50,11 @@ class PreparedProgram:
     ``profile`` and ``pointsto`` let the artifact cache rehydrate a
     prepared program without re-interpreting or re-solving: the serialized
     module text already carries the ``mem_objects`` annotations.
+
+    ``profile_mode="static"`` skips the interpreter entirely and
+    synthesizes the profile from the abstract-interpretation access-region
+    analysis (``analysis.dataflow.staticprofile``) — the partitioners then
+    run on derived weights instead of measured ones.
     """
 
     def __init__(
@@ -60,24 +65,43 @@ class PreparedProgram:
         pointsto_tier=_UNSET,
         config=None,
         pointsto: Optional[PointsToResult] = None,
+        profile_mode: Optional[str] = None,
         _legacy_warn: bool = True,
     ):
         self.module = module
-        if profile is None:
-            interp = Interpreter(module, max_steps=max_steps)
-            self.result = interp.run()
-            profile = interp.profile
-        else:
-            self.result = None
-        self.profile = profile
         self.pointsto_tier = _resolve_tier(
             "PreparedProgram", pointsto_tier, config, _legacy_warn
         )
-        self.pointsto: PointsToResult = (
-            pointsto
-            if pointsto is not None
-            else annotate_memory_ops(module, tier=self.pointsto_tier)
-        )
+        if profile_mode is None:
+            profile_mode = config.profile if config is not None else "dynamic"
+        self.profile_mode = profile_mode
+        if profile is None and profile_mode == "static":
+            # Static preparation annotates first: the region analysis
+            # needs the points-to object sets the interpreter path only
+            # computes afterwards.
+            from ..analysis.dataflow.staticprofile import build_static_profile
+
+            self.pointsto = (
+                pointsto
+                if pointsto is not None
+                else annotate_memory_ops(module, tier=self.pointsto_tier)
+            )
+            profile = build_static_profile(module, pointsto=self.pointsto)
+            self.result = None
+            self.profile = profile
+        else:
+            if profile is None:
+                interp = Interpreter(module, max_steps=max_steps)
+                self.result = interp.run()
+                profile = interp.profile
+            else:
+                self.result = None
+            self.profile = profile
+            self.pointsto = (
+                pointsto
+                if pointsto is not None
+                else annotate_memory_ops(module, tier=self.pointsto_tier)
+            )
         self._fingerprint: Optional[str] = None
         self.objects = ObjectTable(module, dict(profile.heap_sizes))
         self.block_freq: Callable[[str, str], float] = profile.frequency_fn()
@@ -109,6 +133,7 @@ class PreparedProgram:
         tier = _resolve_tier(
             "PreparedProgram.from_source", pointsto_tier, config, True
         )
+        profile_mode = config.profile if config is not None else "dynamic"
         if unroll_factor is None:
             unroll_factor = cls.DEFAULT_UNROLL
         module = compile_source(
@@ -125,7 +150,7 @@ class PreparedProgram:
         renumber_ops(module)
         return cls(
             module, max_steps=max_steps, pointsto_tier=tier,
-            _legacy_warn=False,
+            profile_mode=profile_mode, _legacy_warn=False,
         )
 
     def fingerprint(self) -> str:

@@ -161,12 +161,19 @@ class Interpreter:
         return None
 
     def _record_access(self, op: Operation, addr: int) -> None:
-        obj = self.memory.object_at(addr)
-        if obj is None:
+        span = self.memory.span_at(addr)
+        if span is None:
             raise InterpreterError(
                 f"access to unmapped address {addr:#x} by op {op}"
             )
+        obj, start = span
         self.profile.record_access(op.uid, obj)
+        if op.opcode is Opcode.LOAD:
+            width = max(op.dest.ty.size(), 1)
+        else:
+            width = max(op.srcs[0].ty.size(), 1)
+        offset = addr - start
+        self.profile.record_region(op.uid, obj, offset, offset + width)
 
     @property
     def steps(self) -> int:

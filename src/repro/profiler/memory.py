@@ -101,9 +101,14 @@ class Memory:
 
     def object_at(self, addr: int) -> Optional[str]:
         """Data-object id whose range covers ``addr`` (None if unmapped)."""
+        span = self.span_at(addr)
+        return span[0] if span is not None else None
+
+    def span_at(self, addr: int) -> Optional[Tuple[str, int]]:
+        """``(object id, object start address)`` covering ``addr``."""
         idx = bisect.bisect_right(self._starts, addr) - 1
         if idx >= 0 and self._starts[idx] <= addr < self._ends[idx]:
-            return self._ids[idx]
+            return self._ids[idx], self._starts[idx]
         return None
 
     def address_of_global(self, name: str) -> int:

@@ -21,8 +21,16 @@ class ProfileData:
         self.op_object_counts: Dict[int, Counter] = {}  # op uid -> obj -> count
         self.heap_sizes: Counter = Counter()  # "h:<site>" -> total bytes
         self.call_counts: Counter = Counter()  # callee name -> calls
+        # op uid -> obj -> (lo, hi) byte envelope of observed accesses,
+        # offsets relative to the object's start.
+        self.op_object_regions: Dict[int, Dict[str, Tuple[int, int]]] = {}
         self.instructions_executed = 0
         self.output: List[Union[int, float]] = []
+
+    def is_static(self) -> bool:
+        """True when the counters were derived by static analysis rather
+        than measured (see ``analysis.dataflow.staticprofile``)."""
+        return False
 
     # -- recording ----------------------------------------------------------------
 
@@ -31,6 +39,14 @@ class ProfileData:
 
     def record_access(self, op_uid: int, obj_id: str) -> None:
         self.op_object_counts.setdefault(op_uid, Counter())[obj_id] += 1
+
+    def record_region(self, op_uid: int, obj_id: str, lo: int, hi: int) -> None:
+        regions = self.op_object_regions.setdefault(op_uid, {})
+        prev = regions.get(obj_id)
+        if prev is None:
+            regions[obj_id] = (lo, hi)
+        else:
+            regions[obj_id] = (min(prev[0], lo), max(prev[1], hi))
 
     def record_malloc(self, obj_id: str, size: int) -> None:
         self.heap_sizes[obj_id] += size

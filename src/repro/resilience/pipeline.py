@@ -203,6 +203,58 @@ class ResilientPipeline:
 
     # -- execution -------------------------------------------------------------
 
+    def prepare(
+        self,
+        source: str,
+        name: str = "program",
+        report: Optional[RunReport] = None,
+    ):
+        """Prepare a program under the profiler rung of the ladder.
+
+        The dynamic profiler is itself a rung: when interpretation fails —
+        an injected ``raise:profiler`` fault, an interpreter error, or the
+        step-limit timeout — preparation degrades to the statically
+        derived profile (``profile:static``) instead of aborting, so the
+        partitioners still get access weights rather than dropping
+        straight to naive placement.  Returns ``(prepared, report)``.
+        """
+        from ..pipeline.prepared import PreparedProgram
+        from ..profiler import InterpreterError
+        from .errors import InjectedFault
+
+        report = report or RunReport(clock=self._clock)
+        config = self.config
+        if config.profile == "static":
+            prepared = PreparedProgram.from_source(source, name, config=config)
+            return prepared, report
+        started = self._clock()
+        try:
+            if self.faults is not None:
+                self.faults.begin_attempt("profiler", 1)
+                self.faults.maybe_raise("profiler")
+            prepared = PreparedProgram.from_source(source, name, config=config)
+        except (InjectedFault, InterpreterError) as exc:
+            self._drain_faults(report)
+            reason = str(exc)
+            report.record_attempt(
+                "profile:dynamic", 1, "error",
+                self._clock() - started, error=reason,
+            )
+            report.record_fallback("profile:dynamic", "profile:static", reason)
+            started = self._clock()
+            prepared = PreparedProgram.from_source(
+                source, name, config=config.replace(profile="static")
+            )
+            report.record_attempt(
+                "profile:static", 1, "ok", self._clock() - started
+            )
+            return prepared, report
+        self._drain_faults(report)
+        report.record_attempt(
+            "profile:dynamic", 1, "ok", self._clock() - started
+        )
+        return prepared, report
+
     def run(
         self,
         prepared,

@@ -254,3 +254,136 @@ class TestCallGraph:
               "int main() { return f(3); }"
         cg = CallGraph(compile_source(src, "t"))
         assert "f" in cg.bottom_up_order()
+
+
+# -- edge cases: unreachable blocks, self-loops, non-unit steps ----------------------
+
+
+def _ir_func(name="f"):
+    from repro.ir import Function
+    from repro.ir.types import INT
+
+    return Function(name, [], INT)
+
+
+def _ret(value=0):
+    from repro.ir import Constant, Opcode, Operation
+
+    return Operation(Opcode.RET, srcs=[Constant(value)])
+
+
+def _br(target):
+    from repro.ir import Opcode, Operation
+
+    return Operation(Opcode.BR, targets=[target])
+
+
+def _cbr(cond, if_true, if_false):
+    from repro.ir import Opcode, Operation
+
+    return Operation(Opcode.CBR, srcs=[cond], targets=[if_true, if_false])
+
+
+class TestDominatorEdgeCases:
+    def _with_island(self):
+        func = _ir_func()
+        func.add_block("entry").append(_ret())
+        func.add_block("island").append(_ret(1))
+        return CFG(func)
+
+    def test_unreachable_block_has_no_idom(self):
+        cfg = self._with_island()
+        dom = DominatorTree(cfg)
+        assert "island" not in dom.idom
+        assert dom.immediate_dominator("island") is None
+
+    def test_unreachable_block_dominates_nothing(self):
+        cfg = self._with_island()
+        dom = DominatorTree(cfg)
+        assert not dom.dominates("island", "entry")
+        # dominated_set is reflexive, but nothing else follows an
+        # unreachable block.
+        assert dom.dominated_set("island") == {"island"}
+
+    def test_self_loop_idom_is_predecessor(self):
+        from repro.ir import Constant
+
+        func = _ir_func()
+        func.add_block("entry").append(_br("spin"))
+        func.add_block("spin").append(_cbr(Constant(1), "spin", "exit"))
+        func.add_block("exit").append(_ret())
+        dom = DominatorTree(CFG(func))
+        # The back edge from the block to itself must not disturb the
+        # idom: a block never immediately dominates itself.
+        assert dom.immediate_dominator("spin") == "entry"
+        assert dom.dominates("spin", "exit")
+
+    def test_unreachable_cycle_stays_out_of_tree(self):
+        func = _ir_func()
+        func.add_block("entry").append(_ret())
+        func.add_block("a").append(_br("b"))
+        func.add_block("b").append(_br("a"))
+        dom = DominatorTree(CFG(func))
+        assert set(dom.idom) == {"entry"}
+
+
+class TestLoopEdgeCases:
+    def test_self_loop_is_a_loop(self):
+        from repro.ir import Constant
+
+        func = _ir_func()
+        func.add_block("entry").append(_br("spin"))
+        func.add_block("spin").append(_cbr(Constant(1), "spin", "exit"))
+        func.add_block("exit").append(_ret())
+        loops = LoopInfo(CFG(func))
+        assert len(loops.loops) == 1
+        loop = loops.loops[0]
+        assert loop.header == "spin"
+        assert loop.body == {"spin"}
+        assert loops.depth_of("spin") == 1
+        assert loops.depth_of("entry") == 0
+
+    def test_unreachable_cycle_is_not_a_loop(self):
+        func = _ir_func()
+        func.add_block("entry").append(_ret())
+        func.add_block("a").append(_br("b"))
+        func.add_block("b").append(_br("a"))
+        loops = LoopInfo(CFG(func))
+        assert loops.loops == []
+
+    def test_nested_non_unit_steps(self):
+        src = """
+        int main() {
+          int s = 0;
+          for (int i = 0; i < 20; i = i + 3) {
+            for (int j = 10; j > 0; j = j - 2) {
+              s = s + j;
+            }
+          }
+          return s;
+        }
+        """
+        func = func_of(src)
+        cfg = CFG(func)
+        loops = LoopInfo(cfg)
+        assert len(loops.loops) == 2
+        inner = max(loops.loops, key=lambda l: l.depth)
+        outer = min(loops.loops, key=lambda l: l.depth)
+        assert inner.depth == 2 and outer.depth == 1
+        assert inner.parent is outer
+        # Every inner-loop block sits inside the outer loop's body too.
+        assert inner.body <= outer.body
+
+    def test_loop_with_unreachable_block_alongside(self):
+        func = _ir_func()
+        from repro.ir import Constant
+
+        func.add_block("entry").append(_br("head"))
+        func.add_block("head").append(_cbr(Constant(1), "head", "exit"))
+        func.add_block("exit").append(_ret())
+        func.add_block("island").append(_br("head"))
+        loops = LoopInfo(CFG(func))
+        # The island branches into the loop but is unreachable; it must
+        # not leak into the loop body.
+        assert len(loops.loops) == 1
+        assert "island" not in loops.loops[0].body
