@@ -13,6 +13,9 @@
 #               every static access bound must contain the observed
 #               dynamic counts/regions (zero violations).
 #   cache       artifact cache smoke (cold vs warm Table-1 sweep).
+#   service     job-server smoke: `repro serve` on an ephemeral port,
+#               healthz, a small concurrent loadtest burst (zero lost
+#               jobs, duplicates deduped), then graceful shutdown.
 #
 # Usage: scripts/check.sh [stage ...]   (from the repository root)
 #        no arguments runs every stage in order.
@@ -22,7 +25,7 @@ ROOT="$(cd "$(dirname "$0")/.." && pwd)"
 cd "$ROOT"
 export PYTHONPATH="$ROOT/src${PYTHONPATH:+:$PYTHONPATH}"
 
-STAGES="tools examples benches faults ptdiff staticdiff cache"
+STAGES="tools examples benches faults ptdiff staticdiff cache service"
 failures=0
 
 note() { printf '== %s\n' "$*"; }
@@ -264,6 +267,67 @@ PY
                 | python -c 'import json,sys; s=json.load(sys.stdin); sys.exit(0 if s["entries"] == 0 else 1)' \
             && note "ok: cache stats/gc"
     } || { note "FAIL: cache stats/gc"; failures=$((failures + 1)); }
+}
+
+# -- service: job-server smoke (serve, loadtest burst, graceful shutdown) -----
+# `repro serve --port 0` in a subprocess, parse the announced URL, probe
+# /v1/healthz, drive a small concurrent loadtest burst against it (every
+# submission accounted for, duplicates coalesced or warm-served), then
+# POST /v1/shutdown and require a clean exit 0 from the server process.
+
+stage_service() {
+    note "service smoke (repro serve + concurrent loadtest + graceful shutdown)"
+    python - <<'PY' || failures=$((failures + 1))
+import json
+import subprocess
+import sys
+import tempfile
+import urllib.request
+
+proc = subprocess.Popen(
+    [sys.executable, "-m", "repro", "serve", "--port", "0", "--workers", "2",
+     "--cache-dir", tempfile.mkdtemp(prefix="repro-check-service-")],
+    stdout=subprocess.PIPE, text=True,
+)
+banner = proc.stdout.readline().strip()  # "serving on http://HOST:PORT (...)"
+url = banner.split()[2]
+print(f"ok: {banner}")
+bad = 0
+try:
+    with urllib.request.urlopen(f"{url}/v1/healthz", timeout=10) as resp:
+        health = json.load(resp)
+    ok = health.get("status") == "ok" and health.get("workers_alive") == 2
+    print(f"{'ok' if ok else 'FAIL'}: healthz {health}")
+    bad += 0 if ok else 1
+
+    load = subprocess.run(
+        [sys.executable, "scripts/loadtest.py", "--url", url,
+         "--submissions", "48", "--threads", "8"],
+        stdout=subprocess.PIPE, text=True,
+    )
+    try:
+        checks = json.loads(load.stdout)["checks"]
+    except (json.JSONDecodeError, KeyError):
+        checks = {"summary_unparseable": False}
+    ok = load.returncode == 0 and all(checks.values())
+    print(f"{'ok' if ok else 'FAIL'}: loadtest exit {load.returncode}, "
+          f"checks {checks}")
+    bad += 0 if ok else 1
+
+    request = urllib.request.Request(
+        f"{url}/v1/shutdown", data=b"{}", method="POST",
+        headers={"Content-Type": "application/json"},
+    )
+    with urllib.request.urlopen(request, timeout=10) as resp:
+        print(f"ok: shutdown accepted {json.load(resp)}")
+    code = proc.wait(timeout=60)
+    print(f"{'ok' if code == 0 else 'FAIL'}: server exited {code}")
+    bad += 0 if code == 0 else 1
+finally:
+    if proc.poll() is None:
+        proc.kill()
+sys.exit(1 if bad else 0)
+PY
 }
 
 # -- dispatch -----------------------------------------------------------------

@@ -11,6 +11,8 @@ bench      list or evaluate the bundled benchmark suite (--all sweeps
 lint       static analysis: IR lint rules + partition validity checking
 config     show the resolved RunConfig for a flag combination
 cache      artifact-cache maintenance: stats / gc / clear
+serve      run the partitioning job server (HTTP, stdlib only)
+submit     submit a job to a running server and await its result
 
 Exit codes (uniform across partition/compare/bench/lint):
 
@@ -550,10 +552,77 @@ def _cache_stats(args) -> int:
 
 def _cache_gc(args) -> int:
     result = _cache_handle(args).gc(
-        max_age_days=args.max_age_days, max_bytes=args.max_bytes
+        max_age_days=args.max_age_days, max_bytes=args.max_bytes,
+        grace_seconds=args.grace_seconds,
     )
     print(f"removed {result['removed']} entries, kept {result['kept']}")
     return EXIT_OK
+
+
+def _serve(args) -> int:
+    from .service import Broker, ServiceServer
+
+    config = RunConfig(cache=args.cache, cache_dir=args.cache_dir)
+    broker = Broker(
+        config=config, workers=args.workers, quota=args.quota,
+        max_requeues=args.max_requeues,
+    )
+    server = ServiceServer(
+        broker=broker, host=args.host, port=args.port, verbose=args.verbose
+    )
+    # The resolved port matters when --port 0 asked for an ephemeral one
+    # (tests and check.sh parse this line).
+    print(f"serving on {server.url} "
+          f"({args.workers} worker(s), cache {args.cache})", flush=True)
+    server.serve_forever()
+    return EXIT_OK
+
+
+def _submit(args) -> int:
+    from .service import ServiceClient, ServiceError
+
+    if (args.file is None) == (args.bench is None):
+        print("pass a source file or --bench NAME (not both)",
+              file=sys.stderr)
+        return EXIT_HARD_FAILURE
+    client = ServiceClient(args.url, timeout=args.timeout)
+    config = _config_from_args(args, cache="on")
+    kwargs = dict(
+        config=config.to_dict(), tenant=args.tenant, priority=args.priority
+    )
+    try:
+        if args.bench:
+            descriptor = client.submit(bench=args.bench, **kwargs)
+        else:
+            descriptor = client.submit(
+                source=_read_source(args.file), name=args.name, **kwargs
+            )
+        job_id = descriptor["id"]
+        if descriptor.get("coalesced_onto"):
+            print(f"[coalesced onto in-flight job {job_id}]")
+        else:
+            print(f"[submitted job {job_id}]")
+        if args.no_wait:
+            print(json.dumps(descriptor, indent=2, sort_keys=True))
+            return EXIT_OK
+        if args.follow:
+            for event in client.events(job_id, follow=True,
+                                       timeout=args.timeout):
+                print(json.dumps(event, sort_keys=True))
+        final = client.wait(job_id, timeout=args.timeout)
+    except ServiceError as exc:
+        detail = f" (fields: {', '.join(exc.fields)})" if exc.fields else ""
+        print(f"service error [{exc.code}]: {exc}{detail}", file=sys.stderr)
+        return EXIT_HARD_FAILURE
+    except (TimeoutError, OSError) as exc:
+        print(f"service unreachable or timed out: {exc}", file=sys.stderr)
+        return EXIT_HARD_FAILURE
+    print(json.dumps(final, indent=2, sort_keys=True))
+    if final["state"] == "done":
+        return EXIT_OK
+    if final["state"] == "degraded":
+        return EXIT_DEGRADED
+    return EXIT_HARD_FAILURE
 
 
 def _cache_clear(args) -> int:
@@ -694,11 +763,71 @@ def build_parser() -> argparse.ArgumentParser:
     c.add_argument("--max-age-days", type=float, default=None, metavar="D",
                    help="remove entries older than D days")
     c.add_argument("--max-bytes", type=int, default=None, metavar="B",
-                   help="remove oldest entries until the store fits in B")
+                   help="remove least-recently-used entries until the "
+                   "store fits in B")
+    c.add_argument("--grace-seconds", type=float, default=0.0, metavar="S",
+                   help="never evict entries written within the last S "
+                   "seconds (protects concurrent writers; default 0)")
     c.set_defaults(func=_cache_gc)
     c = cache_sub.add_parser("clear", help="delete every stored artifact")
     c.add_argument("--cache-dir", default=None, metavar="DIR")
     c.set_defaults(func=_cache_clear)
+
+    p = sub.add_parser(
+        "serve", help="run the partitioning job server (HTTP, stdlib only)"
+    )
+    p.add_argument("--host", default="127.0.0.1")
+    p.add_argument("--port", type=int, default=8642,
+                   help="listen port (0 binds an ephemeral port; the "
+                   "resolved URL is printed on startup)")
+    p.add_argument("--workers", type=int, default=2, metavar="N",
+                   help="supervised worker threads (default 2)")
+    p.add_argument("--quota", type=int, default=None, metavar="N",
+                   help="per-tenant in-flight job cap (default unbounded)")
+    p.add_argument("--max-requeues", type=int, default=1, metavar="N",
+                   help="requeues before a job that keeps losing its "
+                   "worker is failed (default 1)")
+    p.add_argument("--cache", default="on", choices=list(CACHE_POLICIES),
+                   help="server-side artifact-cache policy (default on; "
+                   "the server's cache settings override submissions')")
+    p.add_argument("--cache-dir", default=None, metavar="DIR")
+    p.add_argument("--verbose", action="store_true",
+                   help="log each HTTP request to stderr")
+    p.set_defaults(func=_serve)
+
+    p = sub.add_parser(
+        "submit", help="submit a job to a running server and await it"
+    )
+    p.add_argument("file", nargs="?", default=None,
+                   help="MiniC source file ('-' for stdin); omit with "
+                   "--bench")
+    p.add_argument("--url", default="http://127.0.0.1:8642",
+                   help="server base URL (default http://127.0.0.1:8642)")
+    p.add_argument("--bench", default=None, metavar="NAME",
+                   help="submit a registry benchmark instead of a file")
+    p.add_argument("--name", default="program")
+    p.add_argument("--tenant", default="default",
+                   help="tenant id for fair scheduling and quotas")
+    p.add_argument("--priority", type=int, default=0,
+                   help="higher runs earlier (default 0)")
+    p.add_argument("--scheme", default="gdp",
+                   choices=["gdp", "profilemax", "naive", "unified"])
+    p.add_argument("--follow", action="store_true",
+                   help="stream the job's NDJSON lifecycle events while "
+                   "it runs")
+    p.add_argument("--no-wait", action="store_true",
+                   help="print the submit reply and exit immediately")
+    p.add_argument("--timeout", type=float, default=300.0, metavar="S",
+                   help="overall wait budget (default 300s)")
+    _add_machine_flags(p)
+    _add_pointsto_flag(p)
+    _add_profile_flag(p)
+    p.add_argument("--seed", type=int, default=0, metavar="N")
+    p.add_argument("--max-seconds", type=float, default=None, metavar="S")
+    p.add_argument("--retries", type=int, default=None, metavar="N")
+    p.add_argument("--fallback", action="store_true")
+    p.add_argument("--fault-spec", metavar="SPEC")
+    p.set_defaults(func=_submit)
 
     return parser
 

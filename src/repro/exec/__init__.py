@@ -17,6 +17,7 @@ from .engine import (
     ParallelRunner,
     SweepResult,
     load_or_prepare,
+    lookup_cached_outcome,
     run_cell,
     run_prepared_scheme,
 )
@@ -28,6 +29,7 @@ from .runconfig import (
     SCHEMA_VERSION,
     SCHEMES,
     RunConfig,
+    RunConfigError,
     warn_legacy_kwarg,
 )
 
@@ -39,6 +41,7 @@ __all__ = [
     "PROFILE_MODES",
     "ParallelRunner",
     "RunConfig",
+    "RunConfigError",
     "SCHEMA_VERSION",
     "SCHEMES",
     "SWEEP_SCHEMES",
@@ -47,6 +50,7 @@ __all__ = [
     "content_sha",
     "default_cache_dir",
     "load_or_prepare",
+    "lookup_cached_outcome",
     "run_cell",
     "run_prepared_scheme",
     "warn_legacy_kwarg",

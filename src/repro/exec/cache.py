@@ -14,6 +14,21 @@ CLI entry point accepts ``--cache-dir``.  Writes are atomic
 same key simply last-write-win with identical content.  Hit / miss /
 stale counters accumulate per cache instance and feed the sweep report's
 cache columns and ``repro cache stats``.
+
+Multi-process coordination (a shared multi-tenant cache dir, the job
+server's normal deployment) adds two guards on top of the atomic writes:
+
+* an advisory file lock (``<root>/.lock``) — writers hold it *shared*
+  around each store, ``gc``/``clear`` hold it *exclusive* — so eviction
+  never runs concurrently with an in-flight write;
+* a *generation grace window*: ``gc(grace_seconds=...)`` never removes
+  an entry younger than the window, closing the race where eviction
+  under size pressure deletes an artifact another process just wrote and
+  is about to read back.
+
+Reads refresh an entry's mtime, so size-pressure eviction is LRU (least
+recently *used*), not oldest-written — a tenant's hot artifacts survive
+another tenant's churn.
 """
 
 from __future__ import annotations
@@ -24,7 +39,13 @@ import os
 import shutil
 import tempfile
 import time
+from contextlib import contextmanager
 from typing import Any, Dict, Iterator, Optional, Tuple
+
+try:
+    import fcntl
+except ImportError:  # pragma: no cover - non-POSIX platforms
+    fcntl = None  # type: ignore[assignment]
 
 from .runconfig import SCHEMA_VERSION
 
@@ -66,6 +87,7 @@ class ArtifactCache:
         self.misses = 0
         self.stale = 0
         self.stores = 0
+        self.evictions = 0
 
     # -- keys & paths ----------------------------------------------------------
 
@@ -74,6 +96,27 @@ class ArtifactCache:
 
     def _path(self, kind: str, key: str) -> str:
         return os.path.join(self._objects_dir(), kind, key[:2], key + ".json")
+
+    # -- multi-process write/evict coordination --------------------------------
+
+    @contextmanager
+    def _locked(self, exclusive: bool) -> Iterator[None]:
+        """Advisory flock on ``<root>/.lock``: shared around stores,
+        exclusive around gc/clear.  A no-op where ``fcntl`` is missing —
+        the atomic-write guarantees still hold there, only the
+        eviction-vs-writer exclusion is lost."""
+        if fcntl is None:  # pragma: no cover - non-POSIX platforms
+            yield
+            return
+        os.makedirs(self.root, exist_ok=True)
+        fd = os.open(os.path.join(self.root, ".lock"),
+                     os.O_RDWR | os.O_CREAT, 0o644)
+        try:
+            fcntl.flock(fd, fcntl.LOCK_EX if exclusive else fcntl.LOCK_SH)
+            yield
+        finally:
+            fcntl.flock(fd, fcntl.LOCK_UN)
+            os.close(fd)
 
     # -- load / store ----------------------------------------------------------
 
@@ -104,6 +147,13 @@ class ArtifactCache:
             self._remove_quietly(path)
             return None
         self.hits += 1
+        if self.policy == "on":
+            # Refresh recency so size-pressure eviction is LRU: an entry
+            # read often stays, however long ago it was written.
+            try:
+                os.utime(path, None)
+            except OSError:
+                pass
         return entry["payload"]
 
     def store(
@@ -123,16 +173,17 @@ class ArtifactCache:
             "payload": payload,
         }
         os.makedirs(os.path.dirname(path), exist_ok=True)
-        fd, tmp = tempfile.mkstemp(
-            dir=os.path.dirname(path), suffix=".tmp"
-        )
-        try:
-            with os.fdopen(fd, "w") as handle:
-                json.dump(entry, handle, sort_keys=True)
-            os.replace(tmp, path)
-        except OSError:
-            self._remove_quietly(tmp)
-            return False
+        with self._locked(exclusive=False):
+            fd, tmp = tempfile.mkstemp(
+                dir=os.path.dirname(path), suffix=".tmp"
+            )
+            try:
+                with os.fdopen(fd, "w") as handle:
+                    json.dump(entry, handle, sort_keys=True)
+                os.replace(tmp, path)
+            except OSError:
+                self._remove_quietly(tmp)
+                return False
         self.stores += 1
         return True
 
@@ -163,24 +214,39 @@ class ArtifactCache:
                         yield kind, os.path.join(shard_dir, name)
 
     def stats(self) -> Dict[str, Any]:
-        """Session counters plus a disk inventory per artifact kind."""
-        disk: Dict[str, Dict[str, int]] = {}
+        """Session counters plus a disk inventory per artifact kind.
+
+        Machine-readable by design (``repro cache stats --format json``
+        and the job server's ``/v1/stats`` embed it verbatim): counters
+        the load-test harness asserts on live here, never in rendered
+        text."""
+        disk: Dict[str, Dict[str, Any]] = {}
+        shards: Dict[str, set] = {}
         for kind, path in self._entries():
             slot = disk.setdefault(kind, {"entries": 0, "bytes": 0})
             slot["entries"] += 1
+            shards.setdefault(kind, set()).add(
+                os.path.basename(os.path.dirname(path))
+            )
             try:
                 slot["bytes"] += os.path.getsize(path)
             except OSError:
                 pass
+        for kind, slot in disk.items():
+            slot["shards"] = len(shards.get(kind, ()))
+        session = {
+            "hits": self.hits,
+            "misses": self.misses,
+            "stale": self.stale,
+            "stores": self.stores,
+            "evictions": self.evictions,
+        }
+        consulted = self.hits + self.misses
         return {
             "root": self.root,
             "policy": self.policy,
-            "session": {
-                "hits": self.hits,
-                "misses": self.misses,
-                "stale": self.stale,
-                "stores": self.stores,
-            },
+            "session": session,
+            "hit_ratio": (self.hits / consulted) if consulted else 0.0,
             "disk": disk,
             "entries": sum(s["entries"] for s in disk.values()),
             "bytes": sum(s["bytes"] for s in disk.values()),
@@ -190,55 +256,79 @@ class ArtifactCache:
         self,
         max_age_days: Optional[float] = None,
         max_bytes: Optional[int] = None,
+        grace_seconds: float = 0.0,
     ) -> Dict[str, int]:
         """Collect garbage: stale-schema entries always, then entries
-        older than ``max_age_days``, then oldest-first until the store
-        fits in ``max_bytes``.  Returns removal/keep counts."""
+        older than ``max_age_days``, then least-recently-*used* first
+        (reads refresh recency) until the store fits in ``max_bytes``.
+        Returns removal/keep counts.
+
+        Runs under the exclusive store lock, so no writer is mid-replace
+        while entries are deleted.  Entries written within the last
+        ``grace_seconds`` are immune to age and size pressure (never to a
+        schema mismatch): a concurrent process that just stored an
+        artifact is guaranteed to read it back, however aggressive the
+        eviction policy.  Pass 0 (the default) for the one-shot CLI
+        behaviour; long-running multi-tenant services should keep a
+        window at least as long as one job.
+        """
         now = time.time()
-        survivors = []  # (created, size, path)
+        survivors = []  # (last_used, size, path)
         removed = 0
-        for _kind, path in self._entries():
-            try:
-                with open(path) as handle:
-                    entry = json.load(handle)
-                created = float(entry.get("created", 0.0))
-                schema = entry.get("schema")
-            except (OSError, json.JSONDecodeError, ValueError):
-                self._remove_quietly(path)
-                removed += 1
-                continue
-            if schema != SCHEMA_VERSION:
-                self._remove_quietly(path)
-                removed += 1
-                continue
-            if (
-                max_age_days is not None
-                and now - created > max_age_days * 86400.0
-            ):
-                self._remove_quietly(path)
-                removed += 1
-                continue
-            try:
-                size = os.path.getsize(path)
-            except OSError:
-                size = 0
-            survivors.append((created, size, path))
-        if max_bytes is not None:
-            survivors.sort()  # oldest first
-            total = sum(size for _c, size, _p in survivors)
-            while survivors and total > max_bytes:
-                _created, size, path = survivors.pop(0)
-                self._remove_quietly(path)
-                total -= size
-                removed += 1
-        return {"removed": removed, "kept": len(survivors)}
+        graced = 0
+        with self._locked(exclusive=True):
+            for _kind, path in self._entries():
+                try:
+                    with open(path) as handle:
+                        entry = json.load(handle)
+                    created = float(entry.get("created", 0.0))
+                    schema = entry.get("schema")
+                except (OSError, json.JSONDecodeError, ValueError):
+                    self._remove_quietly(path)
+                    removed += 1
+                    continue
+                if schema != SCHEMA_VERSION:
+                    self._remove_quietly(path)
+                    removed += 1
+                    continue
+                try:
+                    stat = os.stat(path)
+                    size, last_used = stat.st_size, stat.st_mtime
+                except OSError:
+                    size, last_used = 0, created
+                if grace_seconds > 0 and now - created < grace_seconds:
+                    # Generation guard: too young to evict, but also
+                    # exempt from the size budget below — a just-written
+                    # entry never counts against older survivors.
+                    graced += 1
+                    continue
+                if (
+                    max_age_days is not None
+                    and now - created > max_age_days * 86400.0
+                ):
+                    self._remove_quietly(path)
+                    removed += 1
+                    continue
+                survivors.append((last_used, size, path))
+            if max_bytes is not None:
+                survivors.sort()  # least recently used first
+                total = sum(size for _u, size, _p in survivors)
+                while survivors and total > max_bytes:
+                    _last_used, size, path = survivors.pop(0)
+                    self._remove_quietly(path)
+                    total -= size
+                    removed += 1
+        self.evictions += removed
+        return {"removed": removed, "kept": len(survivors) + graced}
 
     def clear(self) -> int:
         """Delete every stored artifact; returns the number removed."""
-        count = sum(1 for _ in self._entries())
-        objects = self._objects_dir()
-        if os.path.isdir(objects):
-            shutil.rmtree(objects, ignore_errors=True)
+        with self._locked(exclusive=True):
+            count = sum(1 for _ in self._entries())
+            objects = self._objects_dir()
+            if os.path.isdir(objects):
+                shutil.rmtree(objects, ignore_errors=True)
+        self.evictions += count
         return count
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid

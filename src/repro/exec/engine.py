@@ -118,6 +118,41 @@ def run_prepared_scheme(
     return outcome, "skip"
 
 
+def lookup_cached_outcome(
+    source: str,
+    name: str,
+    config: RunConfig,
+    cache: Optional[ArtifactCache] = None,
+) -> Optional[Dict[str, Any]]:
+    """Job-keyed cache probe: the outcome payload for one (source,
+    config) cell if *both* its artifacts are already on disk, else None.
+
+    This is the admission-control fast path the job server uses to tag a
+    submission as warm before it ever reaches a worker — nothing is
+    computed, nothing is stored.  Callers that must not skew a shared
+    instance's hit/miss telemetry should pass their own (e.g. readonly)
+    handle.
+    """
+    if not (config.cache_enabled and config.cacheable_results):
+        return None
+    cache = cache or ArtifactCache(config.cache_dir, "readonly")
+    prep_payload = cache.load(
+        "prepared",
+        prepared_key_material(
+            source, name, config.pointsto_tier, profile=config.profile
+        ),
+    )
+    if prep_payload is None:
+        return None
+    return cache.load(
+        "outcome",
+        outcome_key_material(
+            prep_payload["ir_hash"], config.build_machine(),
+            config.pointsto_tier, config.scheme, config.seed,
+        ),
+    )
+
+
 # ---------------------------------------------------------------------------
 # The pool worker
 # ---------------------------------------------------------------------------
@@ -132,18 +167,23 @@ def _bench_source(name: str, source: Optional[str]) -> Tuple[str, str]:
     return bench.name, bench.source
 
 
-def run_cell(payload: Dict[str, Any]) -> Dict[str, Any]:
+def run_cell(
+    payload: Dict[str, Any], cache: Optional[ArtifactCache] = None
+) -> Dict[str, Any]:
     """Execute one sweep cell; never raises (a failed cell reports itself).
 
     The payload is plain JSON (picklable across the pool): the cell's
     RunConfig dict plus ``bench`` and optionally ``source`` for programs
-    not in the registry.
+    not in the registry.  In-process callers (the job server's threaded
+    workers) may pass a shared ``cache`` handle so hit/miss telemetry
+    accumulates in one place; pool workers leave it None and build their
+    own.
     """
     from ..resilience import LadderExhausted, ResilientPipeline
     from ..resilience.report import RunReport
 
     config = RunConfig.from_dict(payload["config"])
-    cache = ArtifactCache(config.cache_dir, config.cache)
+    cache = cache or ArtifactCache(config.cache_dir, config.cache)
     started = time.perf_counter()
     cell: Dict[str, Any] = {
         "bench": payload["bench"],

@@ -56,6 +56,21 @@ MACHINE_PRESETS = ("two_cluster", "four_cluster", "heterogeneous",
                    "single_cluster")
 
 
+class RunConfigError(ValueError):
+    """A config dict the front door refuses, with the offending fields.
+
+    Subclasses :class:`ValueError` so every existing ``except ValueError``
+    site keeps working; ``fields`` names the rejected keys so a service
+    boundary can map the failure to a structured 400 instead of a
+    traceback (the offending field travels with the error, machine
+    readable).
+    """
+
+    def __init__(self, message: str, fields: tuple = ()):
+        super().__init__(message)
+        self.fields = tuple(fields)
+
+
 @dataclass(frozen=True)
 class RunConfig:
     """Frozen description of one scheme/bench execution policy.
@@ -83,39 +98,48 @@ class RunConfig:
 
     def __post_init__(self):
         if self.schema_version != SCHEMA_VERSION:
-            raise ValueError(
+            raise RunConfigError(
                 f"RunConfig schema_version {self.schema_version} is not "
-                f"supported (this build understands {SCHEMA_VERSION})"
+                f"supported (this build understands {SCHEMA_VERSION})",
+                fields=("schema_version",),
             )
         if self.scheme not in SCHEMES:
-            raise ValueError(
-                f"unknown scheme {self.scheme!r}; one of {SCHEMES}"
+            raise RunConfigError(
+                f"unknown scheme {self.scheme!r}; one of {SCHEMES}",
+                fields=("scheme",),
             )
         if self.pointsto_tier not in POINTSTO_TIERS:
-            raise ValueError(
+            raise RunConfigError(
                 f"unknown points-to tier {self.pointsto_tier!r}; "
-                f"one of {POINTSTO_TIERS}"
+                f"one of {POINTSTO_TIERS}",
+                fields=("pointsto_tier",),
             )
         if self.profile not in PROFILE_MODES:
-            raise ValueError(
+            raise RunConfigError(
                 f"unknown profile mode {self.profile!r}; "
-                f"one of {PROFILE_MODES}"
+                f"one of {PROFILE_MODES}",
+                fields=("profile",),
             )
         if self.machine not in MACHINE_PRESETS:
-            raise ValueError(
+            raise RunConfigError(
                 f"unknown machine preset {self.machine!r}; "
-                f"one of {MACHINE_PRESETS}"
+                f"one of {MACHINE_PRESETS}",
+                fields=("machine",),
             )
         if self.cache not in CACHE_POLICIES:
-            raise ValueError(
-                f"unknown cache policy {self.cache!r}; one of {CACHE_POLICIES}"
+            raise RunConfigError(
+                f"unknown cache policy {self.cache!r}; "
+                f"one of {CACHE_POLICIES}",
+                fields=("cache",),
             )
         if self.retries < 0:
-            raise ValueError("retries must be >= 0")
+            raise RunConfigError("retries must be >= 0", fields=("retries",))
         if self.jobs is not None and self.jobs < 1:
-            raise ValueError("jobs must be >= 1")
+            raise RunConfigError("jobs must be >= 1", fields=("jobs",))
         if self.max_seconds is not None and self.max_seconds < 0:
-            raise ValueError("max_seconds must be >= 0")
+            raise RunConfigError(
+                "max_seconds must be >= 0", fields=("max_seconds",)
+            )
 
     # -- derived views ---------------------------------------------------------
 
@@ -199,21 +223,31 @@ class RunConfig:
         """Strict parse: unknown fields are rejected (never silently
         dropped) and the schema version must match exactly."""
         if not isinstance(data, dict):
-            raise ValueError(f"RunConfig must be a JSON object, got {data!r}")
+            raise RunConfigError(
+                f"RunConfig must be a JSON object, got {data!r}"
+            )
         known = {f.name for f in dataclasses.fields(cls)}
         unknown = sorted(set(data) - known)
         version = data.get("schema_version", SCHEMA_VERSION)
         if version != SCHEMA_VERSION:
-            raise ValueError(
+            raise RunConfigError(
                 f"RunConfig schema_version {version} is not supported "
-                f"(this build understands {SCHEMA_VERSION})"
+                f"(this build understands {SCHEMA_VERSION})",
+                fields=("schema_version",),
             )
         if unknown:
-            raise ValueError(
+            raise RunConfigError(
                 f"unknown RunConfig field(s) {unknown} for schema_version "
-                f"{version}"
+                f"{version}",
+                fields=tuple(unknown),
             )
-        return cls(**data)
+        try:
+            return cls(**data)
+        except TypeError as exc:
+            # A field of the wrong JSON type (e.g. retries="many") trips a
+            # comparison inside __post_init__; surface it as the same
+            # structured rejection instead of a bare TypeError.
+            raise RunConfigError(f"malformed RunConfig: {exc}") from None
 
     def to_json(self, indent: int = 2) -> str:
         return json.dumps(self.to_dict(), indent=indent, sort_keys=True)

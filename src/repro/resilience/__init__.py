@@ -31,7 +31,7 @@ from .errors import (
     as_phase_error,
 )
 from .faults import FaultClause, FaultPlan
-from .report import PhaseTimer, RunReport
+from .report import PhaseTimer, RunReport, outcome_state_from_final
 
 __all__ = [
     "Budget",
@@ -45,6 +45,7 @@ __all__ = [
     "PhaseTimer",
     "ResilienceError",
     "RunReport",
+    "outcome_state_from_final",
     "as_phase_error",
     "LADDER",
     "RESEED_STRIDE",

@@ -46,6 +46,19 @@ class PhaseTimer:
         return sum(self.timings.values())
 
 
+def outcome_state_from_final(final: Optional[Dict[str, Any]]) -> str:
+    """Map a ``final`` event (live or deserialised from a report dict) to
+    the resilience-ladder outcome state: ``ok`` / ``degraded`` /
+    ``failed``.  A run that finished on a rung other than the one
+    requested — including the cache-served fast path, which records no
+    fallback events — counts as degraded."""
+    if not final or final.get("status") != "ok":
+        return "failed"
+    if final.get("scheme") != final.get("requested"):
+        return "degraded"
+    return "ok"
+
+
 class RunReport:
     """Ordered event log of one resilient run (or comparison of runs).
 
@@ -163,6 +176,18 @@ class RunReport:
             if event["kind"] == "final":
                 return event
         return None
+
+    def outcome_state(self) -> Optional[str]:
+        """The job-facing terminal state of this run: ``"ok"`` when the
+        requested scheme itself won, ``"degraded"`` when any ladder rung
+        or profile fallback produced the result, ``"failed"`` when the
+        ladder exhausted.  None while the run is still open (no ``final``
+        event yet).  This is the single mapping the job server uses to
+        surface per-job budgets/retries as job states."""
+        final = self.final()
+        if final is None:
+            return None
+        return outcome_state_from_final(final)
 
     def phase_seconds(
         self, phase: str, scheme: Optional[str] = None, status: str = "ok"

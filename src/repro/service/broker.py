@@ -1,0 +1,476 @@
+"""The job broker: admission control, coalescing, supervised execution.
+
+One :class:`Broker` owns the whole serving data path:
+
+* **Admission** — :meth:`submit` validates the request at the boundary
+  (strict :class:`~repro.exec.RunConfig` parse; unknown fields and
+  schema mismatches become structured 400s carrying the offending
+  field), resolves the program (inline ``source`` or a registry
+  ``bench``), and computes the job's content key.
+* **Coalescing** — a submission whose key matches a queued/running job
+  is folded onto it: no new work enters the queue, the existing job's
+  ``coalesced`` count rises, and the caller gets the same job id back.
+  Together with the artifact cache (which answers *completed* duplicates
+  across restarts and tenants) this dedupes identical requests at both
+  timescales.
+* **Execution** — a supervised pool of worker threads drains the
+  :class:`~repro.service.queue.FairQueue`.  Each job runs through the
+  execution engine's cell runner, i.e. under the full resilience ladder:
+  a faulted scheme degrades rung by rung instead of failing the job, and
+  a *crashed worker* (anything escaping the cell runner, including an
+  injected ``raise:worker`` fault) is caught by the supervisor, which
+  requeues the job — up to ``max_requeues`` — and keeps serving.  The
+  server never dies with a job.
+* **Observability** — every transition lands in the job's event stream;
+  :meth:`stats` aggregates queue depth, per-state job counts, coalesce
+  and warm-cache rates, and the artifact cache's own counters.
+
+Workers are *threads*, deliberately: a job is one deterministic engine
+cell, and CPU-level parallelism across cells already lives in
+:class:`~repro.exec.ParallelRunner`.  Serving throughput comes from
+coalescing + the content-addressed cache, which turn duplicate traffic
+into O(1) lookups — the measured property in
+``benchmarks/bench_service_throughput.py``.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Any, Dict, List, Optional, Tuple
+
+from ..exec.cache import ArtifactCache
+from ..exec.engine import lookup_cached_outcome, run_cell
+from ..exec.runconfig import RunConfig, RunConfigError
+from ..resilience.report import outcome_state_from_final
+from .jobs import (
+    CANCELLED,
+    DEGRADED,
+    DONE,
+    FAILED,
+    QUEUED,
+    RUNNING,
+    Job,
+    job_key,
+)
+from .queue import FairQueue
+
+
+class ServiceError(Exception):
+    """A request the service refuses, mapped to an HTTP status.
+
+    ``code`` is a stable machine-readable slug; ``fields`` names the
+    offending request/config keys (may be empty).  The HTTP layer
+    serialises this as ``{"error": {code, message, fields}}`` — a
+    malformed RunConfig is a structured 400, never a 500 traceback.
+    """
+
+    def __init__(
+        self, status: int, code: str, message: str, fields: tuple = ()
+    ):
+        super().__init__(message)
+        self.status = status
+        self.code = code
+        self.fields = tuple(fields)
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "error": {
+                "code": self.code,
+                "message": str(self),
+                "fields": list(self.fields),
+            }
+        }
+
+
+#: Request keys :meth:`Broker.submit` understands; anything else is a 400
+#: (the same strictness RunConfig applies one level down).
+_REQUEST_FIELDS = frozenset(
+    ("bench", "source", "name", "config", "tenant", "priority")
+)
+
+
+class Broker:
+    """Queue + job table + supervised worker pool (see module docstring).
+
+    Parameters
+    ----------
+    config:
+        Server-side base config.  Its ``cache``/``cache_dir`` govern the
+        shared artifact store; submissions may not override them (the
+        server owns its disk).
+    workers:
+        Worker thread count.  ``start=False`` builds the broker without
+        starting them (tests drive execution manually).
+    quota:
+        Per-tenant in-flight cap (admission control), None = unbounded.
+    max_requeues:
+        How many times a job survives losing its worker before it is
+        failed.
+    """
+
+    def __init__(
+        self,
+        config: Optional[RunConfig] = None,
+        workers: int = 2,
+        quota: Optional[int] = None,
+        max_requeues: int = 1,
+        start: bool = True,
+        clock=time.perf_counter,
+    ):
+        if workers < 1:
+            raise ValueError("workers must be >= 1")
+        if max_requeues < 0:
+            raise ValueError("max_requeues must be >= 0")
+        self.config = config or RunConfig()
+        self.max_requeues = max_requeues
+        self.queue = FairQueue(quota=quota)
+        self.cache = ArtifactCache(self.config.cache_dir, self.config.cache)
+        self._clock = clock
+        self._lock = threading.Lock()
+        self._jobs: Dict[str, Job] = {}
+        self._inflight: Dict[str, Job] = {}  # key -> queued/running job
+        self._next_id = 0
+        self._stopping = False
+        self.started = clock()
+        # counters (under _lock)
+        self.submitted = 0
+        self.coalesced = 0
+        self.completed = 0
+        self.requeued = 0
+        self.worker_crashes = 0
+        self.warm_submissions = 0
+        self.warm_outcomes = 0
+        self._worker_count = workers
+        self._workers: List[threading.Thread] = []
+        if start:
+            self.start()
+
+    # -- lifecycle -------------------------------------------------------------
+
+    def start(self) -> None:
+        """Start the worker pool (idempotent)."""
+        with self._lock:
+            missing = self._worker_count - len(
+                [t for t in self._workers if t.is_alive()]
+            )
+            for _ in range(max(0, missing)):
+                index = len(self._workers)
+                thread = threading.Thread(
+                    target=self._worker_loop,
+                    args=(f"w{index}",),
+                    name=f"repro-service-worker-{index}",
+                    daemon=True,
+                )
+                self._workers.append(thread)
+                thread.start()
+
+    def shutdown(self, wait: bool = True, timeout: float = 30.0) -> None:
+        """Stop accepting work, close the queue, join the workers."""
+        self._stopping = True
+        self.queue.close()
+        if wait:
+            deadline = self._clock() + timeout
+            for thread in self._workers:
+                remaining = max(0.0, deadline - self._clock())
+                thread.join(timeout=remaining)
+
+    # -- admission -------------------------------------------------------------
+
+    def _parse_config(self, data: Any) -> RunConfig:
+        if data is None:
+            data = {}
+        try:
+            config = RunConfig.from_dict(data)
+        except RunConfigError as exc:
+            raise ServiceError(
+                400, "invalid_config", str(exc), fields=exc.fields
+            ) from None
+        except ValueError as exc:
+            raise ServiceError(400, "invalid_config", str(exc)) from None
+        # The server owns the shared store and the worker pool; a job is
+        # one cell, so client-side parallelism/cache knobs are stripped
+        # before the config reaches the engine (and the coalescing key
+        # already ignores them).
+        return config.replace(
+            jobs=None, cache=self.config.cache,
+            cache_dir=self.config.cache_dir,
+        )
+
+    def _resolve_program(self, request: Dict[str, Any]) -> Tuple[str, str]:
+        source = request.get("source")
+        bench = request.get("bench")
+        if source is not None and bench is not None:
+            raise ServiceError(
+                400, "invalid_request",
+                "pass either 'source' or 'bench', not both",
+                fields=("source", "bench"),
+            )
+        if source is not None:
+            if not isinstance(source, str) or not source.strip():
+                raise ServiceError(
+                    400, "invalid_request", "'source' must be MiniC text",
+                    fields=("source",),
+                )
+            return str(request.get("name", "program")), source
+        if bench is not None:
+            from ..bench import get as get_benchmark
+
+            try:
+                found = get_benchmark(bench)
+            except KeyError:
+                raise ServiceError(
+                    404, "unknown_bench",
+                    f"no benchmark named {bench!r} in the registry",
+                    fields=("bench",),
+                ) from None
+            return found.name, found.source
+        raise ServiceError(
+            400, "invalid_request",
+            "a job needs a 'source' program or a 'bench' name",
+            fields=("source", "bench"),
+        )
+
+    def submit(self, request: Any) -> Tuple[Job, bool]:
+        """Admit one request; returns ``(job, created)``.
+
+        ``created=False`` means the request coalesced onto an in-flight
+        job with the same content key (the returned job is that one).
+        """
+        if self._stopping:
+            raise ServiceError(
+                503, "shutting_down", "server is shutting down"
+            )
+        if not isinstance(request, dict):
+            raise ServiceError(
+                400, "invalid_request", "request body must be a JSON object"
+            )
+        unknown = sorted(set(request) - _REQUEST_FIELDS)
+        if unknown:
+            raise ServiceError(
+                400, "invalid_request",
+                f"unknown request field(s) {unknown}",
+                fields=tuple(unknown),
+            )
+        tenant = str(request.get("tenant", "default"))
+        priority = request.get("priority", 0)
+        if not isinstance(priority, int) or isinstance(priority, bool):
+            raise ServiceError(
+                400, "invalid_request", "'priority' must be an integer",
+                fields=("priority",),
+            )
+        config = self._parse_config(request.get("config"))
+        name, source = self._resolve_program(request)
+        key = job_key(name, source, config)
+        with self._lock:
+            self.submitted += 1
+            existing = self._inflight.get(key)
+            if existing is not None and not existing.terminal:
+                existing.coalesced += 1
+                self.coalesced += 1
+                existing.record("coalesced", tenant=tenant)
+                return existing, False
+            self._next_id += 1
+            job = Job(
+                f"j{self._next_id:06d}", key, name, source, config,
+                tenant=tenant, priority=priority, clock=self._clock,
+            )
+            self._jobs[job.id] = job
+            self._inflight[key] = job
+        # Warm probe outside the broker lock (it touches the disk store):
+        # purely telemetry — the worker's cell runner re-resolves it.
+        probe = ArtifactCache(self.config.cache_dir, "readonly")
+        job.warm = (
+            lookup_cached_outcome(source, name, config, probe) is not None
+        )
+        if job.warm:
+            with self._lock:
+                self.warm_submissions += 1
+        job.record("queued", state=QUEUED, tenant=tenant,
+                   priority=priority, warm=job.warm)
+        self.queue.push(job)
+        return job, True
+
+    # -- lookup ----------------------------------------------------------------
+
+    def get(self, job_id: str) -> Job:
+        with self._lock:
+            job = self._jobs.get(job_id)
+        if job is None:
+            raise ServiceError(
+                404, "unknown_job", f"no job {job_id!r}", fields=("id",)
+            )
+        return job
+
+    def jobs(self) -> List[Job]:
+        with self._lock:
+            return [self._jobs[k] for k in sorted(self._jobs)]
+
+    def cancel(self, job_id: str) -> Job:
+        """Cancel a queued job (running/terminal jobs are not
+        cancellable — the resilience ladder owns a running cell)."""
+        job = self.get(job_id)
+        if not self.queue.cancel(job):
+            raise ServiceError(
+                409, "not_cancellable",
+                f"job {job_id} is {job.state}; only queued jobs can be "
+                f"cancelled",
+            )
+        with self._lock:
+            if self._inflight.get(job.key) is job:
+                del self._inflight[job.key]
+        return job
+
+    # -- execution -------------------------------------------------------------
+
+    def _worker_loop(self, worker_id: str) -> None:
+        while not self._stopping:
+            job = self.queue.pop(timeout=0.2)
+            if job is None:
+                continue
+            try:
+                self._execute(job, worker_id)
+            finally:
+                self.queue.task_done(job)
+
+    def _execute(self, job: Job, worker_id: str) -> None:
+        with job._cond:
+            if job.state == CANCELLED:
+                return
+        job.started_at = self._clock()
+        job.record(
+            "started", state=RUNNING, worker=worker_id, attempt=job.attempt,
+            queue_wait=job.started_at - job.created,
+        )
+        try:
+            # The worker itself is a fault-injection phase: a
+            # ``raise:worker[@attempt]`` clause models this worker dying
+            # mid-job.  The supervisor below is what turns that into a
+            # requeue instead of a dead server.  Only clauses naming the
+            # ``worker`` phase *explicitly* fire here — ``raise:*`` keeps
+            # meaning "fault every ladder rung", not "kill the worker".
+            self._maybe_crash(job)
+            cell = run_cell(
+                {
+                    "bench": job.bench,
+                    "source": job.source,
+                    "config": job.config.to_dict(),
+                },
+                cache=self.cache,
+            )
+        except Exception as exc:  # noqa: BLE001 - supervision boundary
+            self._supervise_crash(job, worker_id, exc)
+            return
+        self._finish(job, cell)
+
+    @staticmethod
+    def _maybe_crash(job: Job) -> None:
+        faults = job.config.build_faults()
+        if faults is None:
+            return
+        worker_clauses = [
+            c for c in faults.clauses
+            if c.kind == "raise" and c.phase == "worker"
+        ]
+        if not worker_clauses:
+            return
+        from ..resilience import FaultPlan
+
+        plan = FaultPlan(worker_clauses, seed=faults.seed)
+        plan.begin_attempt("worker", job.attempt)
+        plan.maybe_raise("worker")
+
+    def _supervise_crash(self, job: Job, worker_id: str, exc: Exception) -> None:
+        """A worker died under ``job``: requeue or fail, never propagate."""
+        detail = f"{type(exc).__name__}: {exc}"
+        with self._lock:
+            self.worker_crashes += 1
+        job.record("worker-crash", worker=worker_id, attempt=job.attempt,
+                   error=detail)
+        if job.requeues < self.max_requeues:
+            job.requeues += 1
+            job.attempt += 1
+            with self._lock:
+                self.requeued += 1
+            job.record("requeued", state=QUEUED, attempt=job.attempt)
+            self.queue.push(job)
+            return
+        job.error = detail
+        self._terminal(job, FAILED, error=detail,
+                       requeues=job.requeues)
+
+    def _finish(self, job: Job, cell: Dict[str, Any]) -> None:
+        """Map a finished engine cell onto the job's terminal state."""
+        job.result = cell
+        with self._lock:
+            if cell["cache"].get("outcome") == "hit":
+                self.warm_outcomes += 1
+        ladder_state = outcome_state_from_final(
+            cell["report"].get("final")
+        )
+        if cell["status"] == "failed" or ladder_state == "failed":
+            job.error = cell["error"]
+            self._terminal(job, FAILED, error=cell["error"],
+                           requeues=job.requeues)
+            return
+        if cell["status"] == "degraded" or ladder_state == "degraded":
+            job.record("degraded", ran_as=cell["ran_as"],
+                       requested=cell["scheme"])
+            final = DEGRADED
+        else:
+            final = DONE
+        self._terminal(
+            job, final,
+            ran_as=cell["ran_as"], cycles=cell["cycles"],
+            dynamic_moves=cell["dynamic_moves"],
+            requeues=job.requeues, coalesced=job.coalesced,
+        )
+
+    def _terminal(self, job: Job, state: str, **fields: Any) -> None:
+        job.finished_at = self._clock()
+        with self._lock:
+            self.completed += 1
+            if self._inflight.get(job.key) is job:
+                del self._inflight[job.key]
+        job.record("finished", state=state, **fields)
+
+    # -- observability ---------------------------------------------------------
+
+    def stats(self) -> Dict[str, Any]:
+        """The ``/v1/stats`` payload: machine-readable counters only."""
+        with self._lock:
+            by_state: Dict[str, int] = {}
+            for job in self._jobs.values():
+                by_state[job.state] = by_state.get(job.state, 0) + 1
+            submitted = self.submitted
+            coalesced = self.coalesced
+            jobs = {
+                "submitted": submitted,
+                "created": len(self._jobs),
+                "coalesced": coalesced,
+                "completed": self.completed,
+                "requeued": self.requeued,
+                "worker_crashes": self.worker_crashes,
+                "by_state": dict(sorted(by_state.items())),
+            }
+            warm = {
+                "submissions": self.warm_submissions,
+                "outcome_hits": self.warm_outcomes,
+            }
+            alive = sum(1 for t in self._workers if t.is_alive())
+        return {
+            "uptime_seconds": self._clock() - self.started,
+            "jobs": jobs,
+            "coalesce_ratio": (coalesced / submitted) if submitted else 0.0,
+            "warm": warm,
+            "queue": self.queue.stats(),
+            "workers": {"pool": self._worker_count, "alive": alive},
+            "cache": self.cache.stats(),
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"<broker {len(self._jobs)} job(s), "
+            f"queue depth {self.queue.depth()}, "
+            f"{self._worker_count} worker(s)>"
+        )

@@ -1,0 +1,156 @@
+"""Stdlib (urllib) client for the partitioning service.
+
+:class:`ServiceClient` is what ``repro submit``, the load-test harness
+and the service tests speak; it mirrors the HTTP surface one method per
+route and converts ``{"error": ...}`` envelopes back into
+:class:`~repro.service.broker.ServiceError` — callers see the same
+exception type on both sides of the wire.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+import urllib.error
+import urllib.request
+from typing import Any, Dict, Iterator, List, Optional
+
+from .broker import ServiceError
+
+
+class ServiceClient:
+    """Thin blocking client for one service base URL."""
+
+    def __init__(self, base_url: str, timeout: float = 30.0):
+        self.base_url = base_url.rstrip("/")
+        self.timeout = timeout
+
+    # -- transport -------------------------------------------------------------
+
+    def _request(
+        self,
+        method: str,
+        path: str,
+        body: Optional[Dict[str, Any]] = None,
+        timeout: Optional[float] = None,
+    ) -> Dict[str, Any]:
+        data = None
+        headers = {"Accept": "application/json"}
+        if body is not None:
+            data = json.dumps(body).encode("utf-8")
+            headers["Content-Type"] = "application/json"
+        request = urllib.request.Request(
+            self.base_url + path, data=data, headers=headers, method=method
+        )
+        try:
+            with urllib.request.urlopen(
+                request, timeout=timeout or self.timeout
+            ) as response:
+                return json.loads(response.read().decode("utf-8"))
+        except urllib.error.HTTPError as exc:
+            raise self._as_service_error(exc) from None
+
+    @staticmethod
+    def _as_service_error(exc: urllib.error.HTTPError) -> ServiceError:
+        try:
+            payload = json.loads(exc.read().decode("utf-8"))
+            error = payload["error"]
+            return ServiceError(
+                exc.code, error["code"], error["message"],
+                fields=tuple(error.get("fields", ())),
+            )
+        except Exception:  # noqa: BLE001 - non-JSON error body
+            return ServiceError(exc.code, "http_error", str(exc))
+
+    # -- routes ----------------------------------------------------------------
+
+    def submit(
+        self,
+        source: Optional[str] = None,
+        bench: Optional[str] = None,
+        name: Optional[str] = None,
+        config: Optional[Dict[str, Any]] = None,
+        tenant: str = "default",
+        priority: int = 0,
+    ) -> Dict[str, Any]:
+        """POST one job; returns the job descriptor (``coalesced_onto``
+        tells whether it folded onto an in-flight duplicate)."""
+        body: Dict[str, Any] = {"tenant": tenant, "priority": priority}
+        if source is not None:
+            body["source"] = source
+        if bench is not None:
+            body["bench"] = bench
+        if name is not None:
+            body["name"] = name
+        if config is not None:
+            body["config"] = config
+        return self._request("POST", "/v1/jobs", body)
+
+    def job(self, job_id: str, wait: float = 0.0) -> Dict[str, Any]:
+        suffix = f"?wait={wait:g}" if wait > 0 else ""
+        return self._request(
+            "GET", f"/v1/jobs/{job_id}{suffix}",
+            timeout=max(self.timeout, wait + 10.0),
+        )
+
+    def jobs(self) -> List[Dict[str, Any]]:
+        return self._request("GET", "/v1/jobs")["jobs"]
+
+    def events(
+        self, job_id: str, follow: bool = False, since: int = 0,
+        timeout: Optional[float] = None,
+    ) -> Iterator[Dict[str, Any]]:
+        """Yield the job's NDJSON events (blocking when ``follow``)."""
+        timeout = self.timeout if timeout is None else timeout
+        query = f"?since={since}"
+        if follow:
+            query += f"&follow=1&timeout={timeout:g}"
+        request = urllib.request.Request(
+            f"{self.base_url}/v1/jobs/{job_id}/events{query}",
+            headers={"Accept": "application/x-ndjson"},
+        )
+        try:
+            with urllib.request.urlopen(
+                request, timeout=timeout + 10.0
+            ) as response:
+                for line in response:
+                    line = line.strip()
+                    if line:
+                        yield json.loads(line.decode("utf-8"))
+        except urllib.error.HTTPError as exc:
+            raise self._as_service_error(exc) from None
+
+    def wait(
+        self, job_id: str, timeout: float = 300.0, poll: float = 0.2
+    ) -> Dict[str, Any]:
+        """Poll until the job is terminal; returns the final descriptor."""
+        from .jobs import TERMINAL_STATES
+
+        deadline = time.monotonic() + timeout
+        while True:
+            remaining = deadline - time.monotonic()
+            descriptor = self.job(
+                job_id, wait=max(0.0, min(remaining, 30.0))
+            )
+            if descriptor["state"] in TERMINAL_STATES:
+                return descriptor
+            if time.monotonic() >= deadline:
+                raise TimeoutError(
+                    f"job {job_id} still {descriptor['state']} after "
+                    f"{timeout:g}s"
+                )
+
+    def cancel(self, job_id: str) -> Dict[str, Any]:
+        return self._request("POST", f"/v1/jobs/{job_id}/cancel", {})
+
+    def stats(self) -> Dict[str, Any]:
+        return self._request("GET", "/v1/stats")
+
+    def healthz(self) -> Dict[str, Any]:
+        return self._request("GET", "/v1/healthz")
+
+    def shutdown(self) -> Dict[str, Any]:
+        return self._request("POST", "/v1/shutdown", {})
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<service client {self.base_url}>"

@@ -1,0 +1,172 @@
+"""Priority job queue with per-tenant quotas and fair scheduling.
+
+Admission order is deterministic given the arrival order:
+
+1. **Priority first** — higher ``priority`` buckets drain before lower
+   ones (within the eligible set; see quotas below).
+2. **Round-robin across tenants** inside a priority bucket: after a
+   tenant is served it rotates to the back of the bucket, so one tenant
+   flooding the queue cannot starve the others however many jobs it
+   submits.
+3. **FIFO within a tenant** — a tenant's own jobs run in submission
+   order.
+
+Per-tenant quotas bound *concurrency*, not queue depth: a tenant with
+``quota`` jobs already running is skipped by :meth:`pop` until one of
+them completes (:meth:`task_done`), which is the admission-control knob
+that keeps a single tenant from occupying every worker.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import deque
+from typing import Any, Dict, Optional
+
+from .jobs import CANCELLED, QUEUED, Job
+
+
+class FairQueue:
+    """Blocking multi-tenant priority queue (see module docstring).
+
+    ``quota`` is the per-tenant in-flight cap (None = unbounded).  All
+    methods are thread-safe; :meth:`pop` blocks until a job is eligible,
+    the timeout expires, or the queue is closed.
+    """
+
+    def __init__(self, quota: Optional[int] = None):
+        if quota is not None and quota < 1:
+            raise ValueError("quota must be >= 1 (or None for unbounded)")
+        self.quota = quota
+        self._cond = threading.Condition()
+        #: priority -> tenant -> FIFO of jobs (buckets removed when empty)
+        self._pending: Dict[int, Dict[str, deque]] = {}
+        #: priority -> tenant rotation order (round-robin cursor)
+        self._order: Dict[int, deque] = {}
+        self._running: Dict[str, int] = {}
+        self._closed = False
+        self.pushed = 0
+        self.popped = 0
+        self.cancelled = 0
+
+    # -- producers -------------------------------------------------------------
+
+    def push(self, job: Job) -> None:
+        """Enqueue ``job`` (also how a requeued job re-enters)."""
+        with self._cond:
+            if self._closed:
+                raise RuntimeError("queue is closed")
+            bucket = self._pending.setdefault(job.priority, {})
+            if job.tenant not in bucket:
+                bucket[job.tenant] = deque()
+                self._order.setdefault(job.priority, deque()).append(
+                    job.tenant
+                )
+            bucket[job.tenant].append(job)
+            self.pushed += 1
+            self._cond.notify()
+
+    # -- consumers -------------------------------------------------------------
+
+    def _eligible_job(self) -> Optional[Job]:
+        """The next job per the fairness policy, or None.  Lock held."""
+        for priority in sorted(self._pending, reverse=True):
+            bucket = self._pending[priority]
+            order = self._order[priority]
+            for _ in range(len(order)):
+                tenant = order[0]
+                order.rotate(-1)
+                queue = bucket.get(tenant)
+                if not queue:
+                    continue
+                if (
+                    self.quota is not None
+                    and self._running.get(tenant, 0) >= self.quota
+                ):
+                    continue
+                job = queue.popleft()
+                if not queue:
+                    del bucket[tenant]
+                    order.remove(tenant)
+                if not bucket:
+                    del self._pending[priority]
+                    del self._order[priority]
+                return job
+        return None
+
+    def pop(self, timeout: Optional[float] = None) -> Optional[Job]:
+        """Dequeue the next eligible job, marking its tenant as running.
+
+        Returns None when the timeout expires or the queue is closed and
+        drained.  Cancelled jobs are skipped (and not returned).
+        """
+        with self._cond:
+            while True:
+                job = self._eligible_job()
+                while job is not None and job.state == CANCELLED:
+                    self.cancelled += 1
+                    job = self._eligible_job()
+                if job is not None:
+                    self._running[job.tenant] = (
+                        self._running.get(job.tenant, 0) + 1
+                    )
+                    self.popped += 1
+                    return job
+                if self._closed:
+                    return None
+                if not self._cond.wait(timeout=timeout):
+                    return None
+
+    def task_done(self, job: Job) -> None:
+        """Release ``job``'s tenant quota slot (call once per pop)."""
+        with self._cond:
+            count = self._running.get(job.tenant, 0) - 1
+            if count > 0:
+                self._running[job.tenant] = count
+            else:
+                self._running.pop(job.tenant, None)
+            self._cond.notify_all()
+
+    # -- management ------------------------------------------------------------
+
+    def cancel(self, job: Job) -> bool:
+        """Mark a queued job cancelled (it is dropped at pop time).
+        Returns False when the job is no longer cancellable."""
+        with self._cond:
+            if job.state != QUEUED:
+                return False
+            job.record("cancelled", state=CANCELLED)
+            return True
+
+    def close(self) -> None:
+        """Stop accepting work and wake every blocked consumer."""
+        with self._cond:
+            self._closed = True
+            self._cond.notify_all()
+
+    def depth(self) -> int:
+        with self._cond:
+            return sum(
+                len(q)
+                for bucket in self._pending.values()
+                for q in bucket.values()
+            )
+
+    def stats(self) -> Dict[str, Any]:
+        with self._cond:
+            tenants: Dict[str, int] = {}
+            for bucket in self._pending.values():
+                for tenant, queue in bucket.items():
+                    tenants[tenant] = tenants.get(tenant, 0) + len(queue)
+            return {
+                "depth": sum(tenants.values()),
+                "tenants": dict(sorted(tenants.items())),
+                "running": dict(sorted(self._running.items())),
+                "quota": self.quota,
+                "pushed": self.pushed,
+                "popped": self.popped,
+                "cancelled": self.cancelled,
+            }
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<fair queue depth={self.depth()} quota={self.quota}>"

@@ -11,8 +11,10 @@ from repro.exec import (
     ArtifactCache,
     ParallelRunner,
     RunConfig,
+    RunConfigError,
     canonical_key,
     load_or_prepare,
+    lookup_cached_outcome,
     run_prepared_scheme,
 )
 from repro.exec.artifacts import (
@@ -107,6 +109,50 @@ class TestRunConfig:
         assert RunConfig(machine="two_cluster", latency=10).build_machine().move_latency == 10
         assert RunConfig(machine="four_cluster").build_machine().num_clusters == 4
         assert RunConfig(machine="single_cluster").build_machine().num_clusters == 1
+
+
+class TestRunConfigError:
+    """The structured rejection contract service boundaries rely on:
+    every refusal is a RunConfigError naming the offending field(s)."""
+
+    def test_is_a_value_error(self):
+        assert issubclass(RunConfigError, ValueError)
+
+    def test_unknown_fields_named(self):
+        data = RunConfig().to_dict()
+        data["frobnicate"] = True
+        data["zap"] = 1
+        with pytest.raises(RunConfigError) as exc:
+            RunConfig.from_dict(data)
+        assert exc.value.fields == ("frobnicate", "zap")
+
+    def test_schema_version_named(self):
+        with pytest.raises(RunConfigError) as exc:
+            RunConfig.from_dict({"schema_version": SCHEMA_VERSION + 1})
+        assert exc.value.fields == ("schema_version",)
+
+    @pytest.mark.parametrize("field,value", [
+        ("scheme", "bogus"),
+        ("pointsto_tier", "bogus"),
+        ("profile", "bogus"),
+        ("machine", "bogus"),
+        ("cache", "bogus"),
+        ("retries", -1),
+        ("jobs", 0),
+        ("max_seconds", -1.0),
+    ])
+    def test_bad_values_name_their_field(self, field, value):
+        with pytest.raises(RunConfigError) as exc:
+            RunConfig(**{field: value})
+        assert exc.value.fields == (field,)
+
+    def test_wrong_json_type_wrapped_not_type_error(self):
+        with pytest.raises(RunConfigError, match="malformed"):
+            RunConfig.from_dict({"retries": "many"})
+
+    def test_non_dict_rejected(self):
+        with pytest.raises(RunConfigError):
+            RunConfig.from_dict(["not", "a", "dict"])
 
 
 # -- Legacy keyword shims -----------------------------------------------------
@@ -255,6 +301,150 @@ class TestArtifactCache:
         )
         assert cache.clear() == 1
         assert cache.stats()["entries"] == 0
+
+
+def _hammer_one_cache_dir(args):
+    """Pool worker for the multi-process cache race test: store, gc with
+    a grace window, read back.  Returns how many just-written entries a
+    concurrent eviction managed to lose (must be zero)."""
+    root, worker_id, rounds = args
+    cache = ArtifactCache(root, "on")
+    lost = 0
+    for i in range(rounds):
+        material = {"writer": worker_id, "round": i}
+        payload = {"writer": worker_id, "round": i}
+        cache.store("prepared", material, payload)
+        # Aggressive concurrent eviction: size budget zero would delete
+        # everything, but the grace window must protect entries other
+        # processes just wrote and are about to read back.
+        cache.gc(max_bytes=0, grace_seconds=120.0)
+        if cache.load("prepared", material) != payload:
+            lost += 1
+    return lost
+
+
+class TestCacheConcurrency:
+    """Satellite 1: gc/eviction racing a concurrent writer must never
+    delete a just-written entry (generation grace + store lock)."""
+
+    def test_multiprocess_writers_survive_concurrent_gc(self, tmp_path):
+        from concurrent.futures import ProcessPoolExecutor
+
+        args = [(str(tmp_path), worker, 10) for worker in range(4)]
+        with ProcessPoolExecutor(max_workers=4) as pool:
+            lost = list(pool.map(_hammer_one_cache_dir, args))
+        assert lost == [0, 0, 0, 0]
+        # Every write really landed (nothing silently dropped either).
+        assert ArtifactCache(str(tmp_path), "on").stats()["entries"] == 40
+
+    def test_grace_window_protects_fresh_entries(self, tmp_path):
+        cache = ArtifactCache(str(tmp_path), "on")
+        material = prepared_key_material("fresh", "x", "andersen")
+        cache.store("prepared", material, {"v": 1})
+        result = cache.gc(max_bytes=0, grace_seconds=3600.0)
+        assert result == {"removed": 0, "kept": 1}
+        assert cache.load("prepared", material) == {"v": 1}
+        # Without the window the same budget evicts it.
+        result = cache.gc(max_bytes=0)
+        assert result["removed"] == 1
+        assert cache.load("prepared", material) is None
+
+    def test_grace_never_shields_stale_schema(self, tmp_path):
+        cache = ArtifactCache(str(tmp_path), "on")
+        material = prepared_key_material("stale", "x", "andersen")
+        cache.store("prepared", material, {"v": 1})
+        key = canonical_key(material)
+        path = cache._path("prepared", key)
+        with open(path) as fh:
+            entry = json.load(fh)
+        entry["schema"] = SCHEMA_VERSION - 1
+        with open(path, "w") as fh:
+            json.dump(entry, fh)
+        result = cache.gc(grace_seconds=3600.0)
+        assert result["removed"] == 1  # schema mismatch trumps freshness
+
+    def test_size_eviction_is_least_recently_used(self, tmp_path):
+        import time as _time
+
+        cache = ArtifactCache(str(tmp_path), "on")
+        materials = [
+            prepared_key_material(f"s{i}", "x", "andersen") for i in range(3)
+        ]
+        for i, material in enumerate(materials):
+            cache.store("prepared", material, {"v": i})
+        # Everything was written "long ago"...
+        old = _time.time() - 1000.0
+        paths = [
+            cache._path("prepared", canonical_key(m)) for m in materials
+        ]
+        for path in paths:
+            os.utime(path, (old, old))
+        # ...then entry 0 is *used*, which refreshes its recency.
+        assert cache.load("prepared", materials[0]) == {"v": 0}
+        budget = os.path.getsize(paths[0])
+        result = cache.gc(max_bytes=budget)
+        assert result["removed"] == 2
+        assert cache.load("prepared", materials[0]) == {"v": 0}
+        assert cache.load("prepared", materials[1]) is None
+        assert cache.load("prepared", materials[2]) is None
+
+    def test_eviction_counter_and_stats_keys(self, tmp_path):
+        cache = ArtifactCache(str(tmp_path), "on")
+        for i in range(2):
+            cache.store(
+                "prepared",
+                prepared_key_material(f"e{i}", "x", "andersen"),
+                {"v": i},
+            )
+        cache.gc(max_bytes=0)
+        assert cache.evictions == 2
+        cache.store(
+            "prepared", prepared_key_material("e9", "x", "andersen"), {"v": 9}
+        )
+        cache.clear()
+        assert cache.evictions == 3
+        stats = cache.stats()
+        assert stats["session"]["evictions"] == 3
+        assert "hit_ratio" in stats
+
+    def test_stats_reports_shards(self, tmp_path):
+        cache = ArtifactCache(str(tmp_path), "on")
+        for i in range(8):
+            cache.store(
+                "prepared",
+                prepared_key_material(f"sh{i}", "x", "andersen"),
+                {"v": i},
+            )
+        stats = cache.stats()
+        assert 1 <= stats["disk"]["prepared"]["shards"] <= 8
+
+
+class TestLookupCachedOutcome:
+    def test_job_keyed_probe(self, tmp_path):
+        cfg = RunConfig(cache_dir=str(tmp_path))
+        assert lookup_cached_outcome(SOURCE, "tiny", cfg) is None
+        from repro.exec.engine import run_cell
+
+        cell = run_cell(
+            {"bench": "tiny", "source": SOURCE, "config": cfg.to_dict()}
+        )
+        assert cell["status"] == "ok"
+        payload = lookup_cached_outcome(SOURCE, "tiny", cfg)
+        assert payload is not None
+        assert payload["eval"]["cycles"] == cell["cycles"]
+        # Result-affecting knobs change the probe's answer...
+        assert lookup_cached_outcome(
+            SOURCE, "tiny", cfg.replace(seed=5)
+        ) is None
+        # ...and non-cacheable configs never probe at all.
+        assert lookup_cached_outcome(
+            SOURCE, "tiny", cfg.replace(fault_spec="raise:gdp")
+        ) is None
+
+    def test_probe_never_writes(self, tmp_path):
+        cfg = RunConfig(cache_dir=str(tmp_path))
+        lookup_cached_outcome(SOURCE, "tiny", cfg)
+        assert ArtifactCache(str(tmp_path), "on").stats()["entries"] == 0
 
 
 # -- Pipeline on the engine ---------------------------------------------------
@@ -439,6 +629,18 @@ class TestCli:
                     prepared_key_material("s2", "x", "andersen"), {"v": 2})
         assert main(["cache", "clear", "--cache-dir", cache_dir]) == 0
         assert ArtifactCache(cache_dir, "on").stats()["entries"] == 0
+
+    def test_cache_gc_grace_seconds_flag(self, tmp_path, capsys):
+        from repro.cli import main
+
+        cache_dir = str(tmp_path)
+        cache = ArtifactCache(cache_dir, "on")
+        cache.store("prepared",
+                    prepared_key_material("g", "x", "andersen"), {"v": 1})
+        assert main(["cache", "gc", "--cache-dir", cache_dir,
+                     "--max-bytes", "0", "--grace-seconds", "3600"]) == 0
+        assert "removed 0" in capsys.readouterr().out
+        assert ArtifactCache(cache_dir, "on").stats()["entries"] == 1
 
     def test_bench_all_sweep(self, tmp_path, capsys):
         from repro.cli import main
