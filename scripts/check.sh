@@ -16,6 +16,11 @@
 #   service     job-server smoke: `repro serve` on an ephemeral port,
 #               healthz, a small concurrent loadtest burst (zero lost
 #               jobs, duplicates deduped), then graceful shutdown.
+#   chaos       durability smoke: SIGKILL a journaled server mid-burst,
+#               restart + recover (zero lost jobs, byte-identical
+#               results), flip bytes in cache artifacts (quarantine +
+#               self-heal), and a bounded-queue backpressure loadtest
+#               (429 + Retry-After absorbed by client backoff).
 #
 # Usage: scripts/check.sh [stage ...]   (from the repository root)
 #        no arguments runs every stage in order.
@@ -25,7 +30,7 @@ ROOT="$(cd "$(dirname "$0")/.." && pwd)"
 cd "$ROOT"
 export PYTHONPATH="$ROOT/src${PYTHONPATH:+:$PYTHONPATH}"
 
-STAGES="tools examples benches faults ptdiff staticdiff cache service"
+STAGES="tools examples benches faults ptdiff staticdiff cache service chaos"
 failures=0
 
 note() { printf '== %s\n' "$*"; }
@@ -327,6 +332,34 @@ finally:
     if proc.poll() is None:
         proc.kill()
 sys.exit(1 if bad else 0)
+PY
+}
+
+stage_chaos() {
+    note "chaos smoke (SIGKILL + recovery, cache corruption self-heal)"
+    python scripts/chaostest.py --short || failures=$((failures + 1))
+
+    note "backpressure smoke (bounded queue, 429 + client backoff)"
+    python - <<'PY' || failures=$((failures + 1))
+import json
+import subprocess
+import sys
+
+load = subprocess.run(
+    [sys.executable, "scripts/loadtest.py", "--submissions", "48",
+     "--threads", "8", "--workers", "1", "--max-depth", "1"],
+    stdout=subprocess.PIPE, text=True,
+)
+try:
+    summary = json.loads(load.stdout)
+    checks = summary["checks"]
+    retries = summary["client_429_retries"]
+except (json.JSONDecodeError, KeyError):
+    checks, retries = {"summary_unparseable": False}, 0
+ok = load.returncode == 0 and all(checks.values())
+print(f"{'ok' if ok else 'FAIL'}: loadtest exit {load.returncode}, "
+      f"429 retries {retries}, checks {checks}")
+sys.exit(0 if ok else 1)
 PY
 }
 

@@ -13,7 +13,13 @@ the books:
   coalescing (in-flight) or the artifact cache (completed), so at least
   ``submissions - distinct`` of them never computed anything;
 * **every job completed** — ``done`` (or ``degraded``, which still
-  yields a result) — the server survived the whole burst.
+  yields a result) — the server survived the whole burst;
+* **no submitter thread died** — an unexpected exception in a pump
+  thread fails the run with a nonzero exit instead of being silently
+  swallowed by ``join()``;
+* with ``--max-depth N``: **backpressure was exercised** — the bounded
+  queue served real 429s and the client's jittered backoff absorbed all
+  of them, with the zero-lost invariant still holding.
 
 By default the harness starts a throwaway in-process server on an
 ephemeral port with a temporary cache dir; pass ``--url`` to aim at an
@@ -94,18 +100,28 @@ def build_requests(submissions: int, tenants: int) -> List[Dict[str, Any]]:
 def run_load(client, requests, threads: int):
     replies: List[Dict[str, Any]] = []
     errors: List[str] = []
+    fatal: List[str] = []
     lock = threading.Lock()
 
     def pump(chunk):
-        for request in chunk:
-            try:
-                reply = client.submit(**request)
-            except Exception as exc:  # noqa: BLE001 - counted, not fatal
+        # The outer try is the thread's own supervision: a bug that
+        # escapes the per-request handling below must fail the harness
+        # loudly (a crashed submitter thread silently swallowed by
+        # join() used to *understate* the load and pass anyway).
+        try:
+            for request in chunk:
+                try:
+                    reply = client.submit(**request)
+                except Exception as exc:  # noqa: BLE001 - counted, not fatal
+                    with lock:
+                        errors.append(f"{type(exc).__name__}: {exc}")
+                    continue
                 with lock:
-                    errors.append(f"{type(exc).__name__}: {exc}")
-                continue
+                    replies.append(reply)
+        except BaseException as exc:  # noqa: BLE001 - thread supervision
             with lock:
-                replies.append(reply)
+                fatal.append(f"{type(exc).__name__}: {exc}")
+            raise
 
     pool = [
         threading.Thread(target=pump, args=(requests[i::threads],))
@@ -117,7 +133,7 @@ def run_load(client, requests, threads: int):
     for thread in pool:
         thread.join()
     submit_seconds = time.perf_counter() - started
-    return replies, errors, submit_seconds
+    return replies, errors, fatal, submit_seconds
 
 
 def main(argv=None) -> int:
@@ -130,6 +146,11 @@ def main(argv=None) -> int:
     parser.add_argument("--tenants", type=int, default=5)
     parser.add_argument("--workers", type=int, default=4,
                         help="worker threads for the in-process server")
+    parser.add_argument("--max-depth", type=int, default=None,
+                        help="bound the in-process server's queue depth: "
+                        "excess submissions get 429 + Retry-After and the "
+                        "client retries with backoff (the backpressure "
+                        "proof; requires the in-process server)")
     parser.add_argument("--timeout", type=float, default=600.0)
     args = parser.parse_args(argv)
 
@@ -143,17 +164,23 @@ def main(argv=None) -> int:
             broker=Broker(
                 config=RunConfig(cache_dir=cache_dir, jobs=1),
                 workers=args.workers,
+                max_depth=args.max_depth,
             ),
             port=0,
         ).start()
         url = server.url
-    else:
-        url = args.url
-    client = ServiceClient(url, timeout=args.timeout)
+    elif args.max_depth is not None:
+        parser.error("--max-depth configures the in-process server; "
+                     "it cannot apply to an external --url")
+    client = ServiceClient(
+        url if server is None else server.url,
+        timeout=args.timeout, retry_budget=args.timeout,
+    )
+    url = client.base_url
 
     try:
         requests, distinct = build_requests(args.submissions, args.tenants)
-        replies, errors, submit_seconds = run_load(
+        replies, errors, fatal, submit_seconds = run_load(
             client, requests, args.threads
         )
 
@@ -185,7 +212,16 @@ def main(argv=None) -> int:
                 == len(finals),
             "duplicates_deduped":
                 deduped >= args.submissions - distinct,
+            "no_thread_deaths": not fatal,
         }
+        if args.max_depth is not None:
+            # The cap must actually have pushed back (429s served) and
+            # the client's backoff must have absorbed every one of them
+            # (already implied by all_submissions_accepted + zero_lost).
+            checks["backpressure_exercised"] = (
+                stats["admission"]["rejected_depth"] > 0
+                and client.retries > 0
+            )
         summary = {
             "url": url,
             "submissions": args.submissions,
@@ -193,6 +229,8 @@ def main(argv=None) -> int:
             "distinct_cells": distinct,
             "accepted": len(replies),
             "errors": errors[:5],
+            "thread_deaths": fatal[:5],
+            "client_429_retries": client.retries,
             "jobs_created": len(finals),
             "coalesced": coalesced,
             "coalesce_ratio": stats["coalesce_ratio"],
@@ -206,6 +244,7 @@ def main(argv=None) -> int:
             "server_stats": {
                 "jobs": stats["jobs"],
                 "queue": stats["queue"],
+                "admission": stats["admission"],
                 "cache_session": stats["cache"]["session"],
                 "cache_hit_ratio": stats["cache"]["hit_ratio"],
             },

@@ -547,6 +547,9 @@ def _cache_stats(args) -> int:
     print(f"entries: {stats['entries']} ({stats['bytes']} bytes)")
     for kind, slot in sorted(stats["disk"].items()):
         print(f"  {kind}: {slot['entries']} entries, {slot['bytes']} bytes")
+    quarantine = stats["quarantine"]
+    print(f"quarantine: {quarantine['entries']} corrupt entries "
+          f"({quarantine['bytes']} bytes)")
     return EXIT_OK
 
 
@@ -560,12 +563,16 @@ def _cache_gc(args) -> int:
 
 
 def _serve(args) -> int:
+    import signal
+
     from .service import Broker, ServiceServer
 
     config = RunConfig(cache=args.cache, cache_dir=args.cache_dir)
     broker = Broker(
         config=config, workers=args.workers, quota=args.quota,
         max_requeues=args.max_requeues,
+        journal_dir=args.journal, fsync=args.fsync,
+        max_depth=args.max_depth, tenant_pending=args.tenant_pending,
     )
     server = ServiceServer(
         broker=broker, host=args.host, port=args.port, verbose=args.verbose
@@ -574,6 +581,21 @@ def _serve(args) -> int:
     # (tests and check.sh parse this line).
     print(f"serving on {server.url} "
           f"({args.workers} worker(s), cache {args.cache})", flush=True)
+    if args.journal:
+        recovery = broker.stats()["recovery"]
+        print(f"journal {args.journal} (fsync {args.fsync}): recovered "
+              f"{recovery['recovered']} job(s), requeued "
+              f"{recovery['requeued']}", flush=True)
+
+    def _drain_and_exit(_signum, _frame):
+        # SIGTERM is the orchestrator's "please go away": stop admission,
+        # finish or journal-park admitted work, exit 0.
+        server.request_shutdown(drain=True)
+
+    try:
+        signal.signal(signal.SIGTERM, _drain_and_exit)
+    except ValueError:  # pragma: no cover - non-main-thread embedding
+        pass
     server.serve_forever()
     return EXIT_OK
 
@@ -787,6 +809,21 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--max-requeues", type=int, default=1, metavar="N",
                    help="requeues before a job that keeps losing its "
                    "worker is failed (default 1)")
+    p.add_argument("--journal", default=None, metavar="DIR",
+                   help="write-ahead journal directory: every lifecycle "
+                   "transition is logged before it is acked, and a "
+                   "restart on the same DIR recovers the job table "
+                   "(requeueing whatever a crash interrupted)")
+    p.add_argument("--fsync", default="always",
+                   choices=["always", "interval", "never"],
+                   help="journal durability policy (default always: an "
+                   "acked submission survives kill -9)")
+    p.add_argument("--max-depth", type=int, default=None, metavar="N",
+                   help="queue-depth admission bound; submissions past "
+                   "it get 429 + Retry-After (default unbounded)")
+    p.add_argument("--tenant-pending", type=int, default=None, metavar="N",
+                   help="per-tenant bound on non-terminal jobs, same "
+                   "429 contract (default unbounded)")
     p.add_argument("--cache", default="on", choices=list(CACHE_POLICIES),
                    help="server-side artifact-cache policy (default on; "
                    "the server's cache settings override submissions')")

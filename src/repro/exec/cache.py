@@ -29,6 +29,15 @@ server's normal deployment) adds two guards on top of the atomic writes:
 Reads refresh an entry's mtime, so size-pressure eviction is LRU (least
 recently *used*), not oldest-written — a tenant's hot artifacts survive
 another tenant's churn.
+
+Integrity: every entry carries a ``digest`` — the SHA-256 of its own
+canonical JSON minus that field — written at store time and verified on
+*every* load.  A mismatch (bit rot, a torn write that still parses, a
+flipped byte) or an undecodable file is **corruption**, handled by
+self-healing: the entry is moved to ``<root>/quarantine/`` (preserved
+for forensics, never silently deleted), counted, and reported as a miss
+so the engine recomputes and re-stores it.  A corrupt cache can slow the
+system down; it can never poison a result or crash a cell.
 """
 
 from __future__ import annotations
@@ -72,6 +81,15 @@ def content_sha(text: str) -> str:
     return hashlib.sha256(text.encode("utf-8")).hexdigest()
 
 
+def entry_digest(entry: Dict[str, Any]) -> str:
+    """The integrity stamp of one cache entry: SHA-256 over its
+    canonical JSON with the ``digest`` field itself excluded.  Covering
+    the whole entry (not just the payload) means *any* byte flip that
+    still parses as JSON is caught, not only payload damage."""
+    material = {k: v for k, v in entry.items() if k != "digest"}
+    return canonical_key(material)
+
+
 class ArtifactCache:
     """One process's handle on the on-disk artifact store.
 
@@ -88,11 +106,16 @@ class ArtifactCache:
         self.stale = 0
         self.stores = 0
         self.evictions = 0
+        self.corrupt = 0
+        self.quarantined = 0
 
     # -- keys & paths ----------------------------------------------------------
 
     def _objects_dir(self) -> str:
         return os.path.join(self.root, "objects")
+
+    def _quarantine_dir(self) -> str:
+        return os.path.join(self.root, "quarantine")
 
     def _path(self, kind: str, key: str) -> str:
         return os.path.join(self._objects_dir(), kind, key[:2], key + ".json")
@@ -123,9 +146,13 @@ class ArtifactCache:
     def load(self, kind: str, material: Dict[str, Any]) -> Optional[Dict[str, Any]]:
         """The payload stored for ``material``, or None on miss.
 
-        An unreadable entry or one written under a different schema
-        version counts as *stale*: it is deleted and reported as a miss,
-        so a schema bump invalidates the whole store lazily.
+        An entry written under a different schema version (or predating
+        the digest stamp) counts as *stale*: it is deleted and reported
+        as a miss, so a schema bump invalidates the whole store lazily.
+        An entry that fails to decode or whose digest does not verify is
+        *corrupt*: it is quarantined (see :meth:`_quarantine`) and
+        reported as a miss — the caller recomputes, which is the
+        self-heal.
         """
         if self.policy in ("off", "refresh"):
             self.misses += 1
@@ -133,18 +160,35 @@ class ArtifactCache:
         key = canonical_key(material)
         path = self._path(kind, key)
         try:
-            with open(path) as handle:
-                entry = json.load(handle)
+            with open(path, "rb") as handle:
+                entry = json.loads(handle.read().decode("utf-8"))
+            if not isinstance(entry, dict):
+                raise ValueError("entry is not an object")
         except FileNotFoundError:
             self.misses += 1
             return None
-        except (OSError, json.JSONDecodeError):
+        except ValueError:
+            # Damaged bytes (bit rot / torn write): quarantine + recompute.
+            self.corrupt += 1
+            self._quarantine(path)
+            return None
+        except OSError:
             self.stale += 1
             self._remove_quietly(path)
             return None
-        if entry.get("schema") != SCHEMA_VERSION or entry.get("kind") != kind:
+        if (
+            entry.get("schema") != SCHEMA_VERSION
+            or entry.get("kind") != kind
+            or "digest" not in entry
+        ):
             self.stale += 1
             self._remove_quietly(path)
+            return None
+        if entry["digest"] != entry_digest(entry):
+            # Valid JSON, wrong content: a flipped byte the parser
+            # cannot see.  Same treatment — never serve it.
+            self.corrupt += 1
+            self._quarantine(path)
             return None
         self.hits += 1
         if self.policy == "on":
@@ -172,6 +216,7 @@ class ArtifactCache:
             "created": time.time(),
             "payload": payload,
         }
+        entry["digest"] = entry_digest(entry)
         os.makedirs(os.path.dirname(path), exist_ok=True)
         with self._locked(exclusive=False):
             fd, tmp = tempfile.mkstemp(
@@ -193,6 +238,22 @@ class ArtifactCache:
             os.remove(path)
         except OSError:
             pass
+
+    def _quarantine(self, path: str) -> None:
+        """Move a corrupt entry to ``<root>/quarantine/`` (flat, named
+        by its original basename).  Quarantined files are evidence — an
+        operator can diff them against the recomputed entry — and their
+        on-disk count is the *persistent* corruption counter
+        ``repro cache stats`` reports across processes."""
+        try:
+            qdir = self._quarantine_dir()
+            os.makedirs(qdir, exist_ok=True)
+            os.replace(path, os.path.join(qdir, os.path.basename(path)))
+            self.quarantined += 1
+        except OSError:
+            # Can't preserve it (cross-device, permissions): removal
+            # still self-heals, we just lose the evidence.
+            self._remove_quietly(path)
 
     # -- maintenance -----------------------------------------------------------
 
@@ -240,7 +301,21 @@ class ArtifactCache:
             "stale": self.stale,
             "stores": self.stores,
             "evictions": self.evictions,
+            "corrupt": self.corrupt,
+            "quarantined": self.quarantined,
         }
+        quarantine = {"entries": 0, "bytes": 0}
+        qdir = self._quarantine_dir()
+        if os.path.isdir(qdir):
+            for name in sorted(os.listdir(qdir)):
+                qpath = os.path.join(qdir, name)
+                if not os.path.isfile(qpath):
+                    continue
+                quarantine["entries"] += 1
+                try:
+                    quarantine["bytes"] += os.path.getsize(qpath)
+                except OSError:
+                    pass
         consulted = self.hits + self.misses
         return {
             "root": self.root,
@@ -248,6 +323,7 @@ class ArtifactCache:
             "session": session,
             "hit_ratio": (self.hits / consulted) if consulted else 0.0,
             "disk": disk,
+            "quarantine": quarantine,
             "entries": sum(s["entries"] for s in disk.values()),
             "bytes": sum(s["bytes"] for s in disk.values()),
         }
@@ -322,12 +398,17 @@ class ArtifactCache:
         return {"removed": removed, "kept": len(survivors) + graced}
 
     def clear(self) -> int:
-        """Delete every stored artifact; returns the number removed."""
+        """Delete every stored artifact (and the quarantine — clearing
+        the store is the operator saying "start over"); returns the
+        number of live entries removed."""
         with self._locked(exclusive=True):
             count = sum(1 for _ in self._entries())
             objects = self._objects_dir()
             if os.path.isdir(objects):
                 shutil.rmtree(objects, ignore_errors=True)
+            qdir = self._quarantine_dir()
+            if os.path.isdir(qdir):
+                shutil.rmtree(qdir, ignore_errors=True)
         self.evictions += count
         return count
 

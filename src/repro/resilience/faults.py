@@ -16,11 +16,20 @@ Spec grammar (clauses joined by ``;`` or ``,``)::
     corrupt-homes:<phase>:<K>[@<attempt>]   flip K object homes after <phase>
     unlock:<phase>:<M>[@<attempt>]  drop M memory-op locks in <phase>
     slow-moves:<factor>[@<attempt>] multiply intercluster move latency
+    torn-write:<phase>[@<attempt>]  truncate a durable write mid-record
 
 ``<phase>`` is a scheme/phase name (``gdp``, ``profilemax``, ``naive``,
 ``unified``, ``rhop``) or ``*`` for any.  Without ``@<attempt>`` a clause
 fires on *every* attempt (forcing a ladder fallback); with it, only on
 that 1-based attempt (so a reseed retry recovers).
+
+Two phases live outside the scheme ladder: ``worker`` (the service's
+worker threads; only *explicit* ``raise:worker`` clauses fire there) and
+``journal`` (the service's write-ahead log, where the attempt coordinate
+is the append sequence number).  ``torn-write`` is consulted via
+:meth:`FaultPlan.torn_write` by the journal to simulate a crash landing
+mid-``write(2)``: the record's bytes are cut in half and the trailing
+newline lost, exactly the corruption recovery must truncate away.
 """
 
 from __future__ import annotations
@@ -30,7 +39,7 @@ from typing import Any, Dict, List, Optional
 
 from .errors import InjectedFault
 
-_KINDS = ("raise", "corrupt-homes", "unlock", "slow-moves")
+_KINDS = ("raise", "corrupt-homes", "unlock", "slow-moves", "torn-write")
 
 
 class FaultClause:
@@ -58,8 +67,8 @@ class FaultClause:
         return self.attempt is None or self.attempt == attempt
 
     def __str__(self) -> str:
-        if self.kind == "raise":
-            body = f"raise:{self.phase}"
+        if self.kind in ("raise", "torn-write"):
+            body = f"{self.kind}:{self.phase}"
         elif self.kind == "slow-moves":
             body = f"slow-moves:{self.factor:g}"
         else:
@@ -84,10 +93,10 @@ def _parse_clause(text: str) -> FaultClause:
             raise ValueError(f"attempt must be >= 1 in fault clause {text!r}")
     parts = body.split(":")
     kind = parts[0]
-    if kind == "raise":
+    if kind in ("raise", "torn-write"):
         if len(parts) != 2:
-            raise ValueError(f"expected raise:<phase> in {text!r}")
-        return FaultClause("raise", phase=parts[1], attempt=attempt)
+            raise ValueError(f"expected {kind}:<phase> in {text!r}")
+        return FaultClause(kind, phase=parts[1], attempt=attempt)
     if kind in ("corrupt-homes", "unlock"):
         if len(parts) != 3:
             raise ValueError(f"expected {kind}:<phase>:<count> in {text!r}")
@@ -195,6 +204,15 @@ class FaultPlan:
                 f"injected fault ({clause})",
                 scheme=self._scheme,
             )
+
+    def torn_write(self, phase: str) -> bool:
+        """True when a ``torn-write`` clause matches: the caller should
+        truncate the record it is about to persist mid-write (the
+        journal's simulated crash-during-``write``)."""
+        for clause in self._matching("torn-write", phase):
+            self._record(clause, phase, "tore write")
+            return True
+        return False
 
     def corrupt_homes(
         self,

@@ -18,6 +18,10 @@ Layering (no HTTP below the top):
   400s via :class:`ServiceError`), request coalescing, the supervised
   worker pool (a crashed worker requeues its job, never kills the
   server), counters;
+- :mod:`~repro.service.journal` — :class:`Journal`: the crash-safe
+  write-ahead log + snapshot pair behind ``repro serve --journal``
+  (checksummed NDJSON records, torn-tail truncation, fsync policies,
+  snapshot compaction) and the broker's recovery/drain machinery;
 - :mod:`~repro.service.http` — :class:`ServiceServer`: the stdlib
   ``ThreadingHTTPServer`` front end (``repro serve``);
 - :mod:`~repro.service.client` — :class:`ServiceClient`: the urllib
@@ -40,6 +44,7 @@ from .jobs import (
     job_key,
     scrub_events,
 )
+from .journal import Journal, JournalState
 from .queue import FairQueue
 
 __all__ = [
@@ -51,6 +56,8 @@ __all__ = [
     "FairQueue",
     "JOB_STATES",
     "Job",
+    "Journal",
+    "JournalState",
     "QUEUED",
     "RUNNING",
     "ServiceClient",

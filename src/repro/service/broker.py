@@ -24,6 +24,14 @@ One :class:`Broker` owns the whole serving data path:
 * **Observability** — every transition lands in the job's event stream;
   :meth:`stats` aggregates queue depth, per-state job counts, coalesce
   and warm-cache rates, and the artifact cache's own counters.
+* **Durability** — with a :class:`~repro.service.journal.Journal`
+  attached, every transition is write-ahead logged *before* it is
+  acknowledged, a fresh broker on the same directory recovers the job
+  table (requeueing whatever a crash interrupted, served warm from the
+  artifact cache when the outcome already landed), shutdown can *drain*
+  (finish or park in-flight work), and bounded queue depth / per-tenant
+  admission return 429 + ``Retry-After`` instead of accepting without
+  bound.  See :mod:`~repro.service.journal` and DESIGN.md §11.
 
 Workers are *threads*, deliberately: a job is one deterministic engine
 cell, and CPU-level parallelism across cells already lives in
@@ -50,9 +58,11 @@ from .jobs import (
     FAILED,
     QUEUED,
     RUNNING,
+    TERMINAL_STATES,
     Job,
     job_key,
 )
+from .journal import Journal, JournalState
 from .queue import FairQueue
 
 
@@ -63,24 +73,36 @@ class ServiceError(Exception):
     offending request/config keys (may be empty).  The HTTP layer
     serialises this as ``{"error": {code, message, fields}}`` — a
     malformed RunConfig is a structured 400, never a 500 traceback.
+
+    ``retry_after`` (seconds) rides along on backpressure rejections
+    (429): the HTTP layer turns it into a ``Retry-After`` header and
+    :class:`~repro.service.client.ServiceClient` honours it as the
+    floor of its backoff delay.
     """
 
     def __init__(
-        self, status: int, code: str, message: str, fields: tuple = ()
+        self,
+        status: int,
+        code: str,
+        message: str,
+        fields: tuple = (),
+        retry_after: Optional[float] = None,
     ):
         super().__init__(message)
         self.status = status
         self.code = code
         self.fields = tuple(fields)
+        self.retry_after = retry_after
 
     def to_dict(self) -> Dict[str, Any]:
-        return {
-            "error": {
-                "code": self.code,
-                "message": str(self),
-                "fields": list(self.fields),
-            }
+        error: Dict[str, Any] = {
+            "code": self.code,
+            "message": str(self),
+            "fields": list(self.fields),
         }
+        if self.retry_after is not None:
+            error["retry_after"] = self.retry_after
+        return {"error": error}
 
 
 #: Request keys :meth:`Broker.submit` understands; anything else is a 400
@@ -107,6 +129,21 @@ class Broker:
     max_requeues:
         How many times a job survives losing its worker before it is
         failed.
+    journal / journal_dir:
+        An explicit :class:`~repro.service.journal.Journal`, or a
+        directory to open one in (``fsync`` selects its policy).  With
+        either, every lifecycle transition is write-ahead logged and a
+        fresh broker on the same directory *recovers*: terminal jobs are
+        restored as history, queued/running ones are requeued (served
+        warm from the artifact cache when their outcome already landed).
+    max_depth:
+        Queue-depth admission bound: a submission that would push the
+        backlog past it is refused with 429 + ``Retry-After``
+        (coalescing duplicates always pass — they add no work).
+    tenant_pending:
+        Per-tenant bound on *non-terminal* jobs, same 429 contract.
+    retry_after:
+        The hint (seconds) sent with backpressure rejections.
     """
 
     def __init__(
@@ -117,21 +154,38 @@ class Broker:
         max_requeues: int = 1,
         start: bool = True,
         clock=time.perf_counter,
+        journal: Optional[Journal] = None,
+        journal_dir: Optional[str] = None,
+        fsync: str = "always",
+        max_depth: Optional[int] = None,
+        tenant_pending: Optional[int] = None,
+        retry_after: float = 1.0,
     ):
         if workers < 1:
             raise ValueError("workers must be >= 1")
         if max_requeues < 0:
             raise ValueError("max_requeues must be >= 0")
+        if max_depth is not None and max_depth < 1:
+            raise ValueError("max_depth must be >= 1 (or None for unbounded)")
+        if tenant_pending is not None and tenant_pending < 1:
+            raise ValueError(
+                "tenant_pending must be >= 1 (or None for unbounded)"
+            )
         self.config = config or RunConfig()
         self.max_requeues = max_requeues
+        self.max_depth = max_depth
+        self.tenant_pending = tenant_pending
+        self.retry_after = retry_after
         self.queue = FairQueue(quota=quota)
         self.cache = ArtifactCache(self.config.cache_dir, self.config.cache)
         self._clock = clock
         self._lock = threading.Lock()
         self._jobs: Dict[str, Job] = {}
         self._inflight: Dict[str, Job] = {}  # key -> queued/running job
+        self._tenant_pending: Dict[str, int] = {}  # tenant -> non-terminal
         self._next_id = 0
-        self._stopping = False
+        self._stopping = False   # admission off
+        self._halting = False    # workers wind down
         self.started = clock()
         # counters (under _lock)
         self.submitted = 0
@@ -141,8 +195,22 @@ class Broker:
         self.worker_crashes = 0
         self.warm_submissions = 0
         self.warm_outcomes = 0
+        self.rejected_depth = 0
+        self.rejected_tenant = 0
+        self.journal_errors = 0
+        self.recovered_jobs = 0
+        self.recovery_requeued = 0
+        self.parked = 0
         self._worker_count = workers
         self._workers: List[threading.Thread] = []
+        if journal is None and journal_dir is not None:
+            journal = Journal(journal_dir, fsync=fsync)
+        self.journal = journal
+        if self.journal is not None:
+            self._recover(self.journal.load())
+            # Fold recovery into a fresh snapshot immediately: restart
+            # loops never replay the same log twice.
+            self._compact_journal()
         if start:
             self.start()
 
@@ -165,15 +233,150 @@ class Broker:
                 self._workers.append(thread)
                 thread.start()
 
-    def shutdown(self, wait: bool = True, timeout: float = 30.0) -> None:
-        """Stop accepting work, close the queue, join the workers."""
+    def shutdown(
+        self, wait: bool = True, timeout: float = 30.0, drain: bool = False
+    ) -> None:
+        """Stop accepting work, close the queue, join the workers.
+
+        ``drain=True`` is the graceful path (SIGTERM, ``POST
+        /v1/shutdown?drain=1``): admission stops immediately, but the
+        workers keep draining already-admitted jobs until the table is
+        terminal or ``timeout`` expires.  Whatever is still non-terminal
+        then is *parked* — journaled as queued so the next broker on the
+        same journal directory requeues it — and the journal is
+        compacted and closed.
+        """
         self._stopping = True
+        deadline = self._clock() + timeout
+        if drain:
+            while self._clock() < deadline:
+                with self._lock:
+                    busy = any(
+                        not job.terminal for job in self._jobs.values()
+                    )
+                if not busy:
+                    break
+                time.sleep(0.05)
+        self._halting = True
         self.queue.close()
         if wait:
-            deadline = self._clock() + timeout
             for thread in self._workers:
-                remaining = max(0.0, deadline - self._clock())
+                remaining = max(0.05, deadline - self._clock())
                 thread.join(timeout=remaining)
+        with self._lock:
+            leftovers = [
+                job for job in self._jobs.values() if not job.terminal
+            ]
+            self.parked += len(leftovers)
+        for job in leftovers:
+            job.record("parked", state=QUEUED)
+            self._journal_append("park", job=job.id)
+        if self.journal is not None:
+            self._compact_journal()
+            self.journal.close()
+
+    # -- durability ------------------------------------------------------------
+
+    def _journal_append(self, kind: str, **fields: Any) -> None:
+        """Write-ahead one transition; a journal failure degrades
+        durability, never availability (counted, not raised)."""
+        if self.journal is None:
+            return
+        try:
+            self.journal.append(kind, **fields)
+        except Exception:  # noqa: BLE001 - durability vs availability
+            with self._lock:
+                self.journal_errors += 1
+            return
+        if self.journal.compaction_due:
+            self._compact_journal()
+
+    def _job_journal_entry(self, job: Job) -> Dict[str, Any]:
+        """Snapshot-entry projection of one job (journal replay shape)."""
+        return {
+            "job": job.id,
+            "key": job.key,
+            "bench": job.bench,
+            "source": job.source,
+            "config": job.config.to_dict(),
+            "tenant": job.tenant,
+            "priority": job.priority,
+            "state": job.state,
+            "attempt": job.attempt,
+            "requeues": job.requeues,
+            "coalesced": job.coalesced,
+            "error": job.error,
+            "summary": job.result_summary(),
+        }
+
+    def _compact_journal(self) -> None:
+        if self.journal is None:
+            return
+        with self._lock:
+            jobs = [
+                self._job_journal_entry(self._jobs[jid])
+                for jid in sorted(self._jobs)
+            ]
+        try:
+            self.journal.compact(jobs)
+        except Exception:  # noqa: BLE001 - durability vs availability
+            with self._lock:
+                self.journal_errors += 1
+
+    def _recover(self, state: JournalState) -> None:
+        """Rebuild the job table from a loaded journal.
+
+        Terminal jobs come back as history (their summary answers
+        ``GET /v1/jobs/{id}`` without recompute).  Queued/running jobs —
+        the ones a crash interrupted — are requeued; the existing
+        ``job_key`` dedupe plus the artifact cache make the rerun
+        idempotent: work whose outcome landed before the crash is served
+        warm, everything else recomputes deterministically.
+        """
+        probe = ArtifactCache(self.config.cache_dir, "readonly")
+        for rec in state.jobs.values():
+            try:
+                config = RunConfig.from_dict(rec["config"]).replace(
+                    jobs=None, cache=self.config.cache,
+                    cache_dir=self.config.cache_dir,
+                )
+                job = Job(
+                    rec["job"], rec["key"], rec["bench"], rec["source"],
+                    config, tenant=rec.get("tenant", "default"),
+                    priority=rec.get("priority", 0), clock=self._clock,
+                )
+            except Exception:  # noqa: BLE001 - a foreign/corrupt record
+                self.journal_errors += 1
+                continue
+            job.recovered = True
+            job.attempt = rec.get("attempt", 1)
+            job.requeues = rec.get("requeues", 0)
+            job.coalesced = rec.get("coalesced", 0)
+            self._jobs[job.id] = job
+            self.recovered_jobs += 1
+            try:
+                self._next_id = max(self._next_id, int(job.id.lstrip("j")))
+            except ValueError:
+                pass
+            if rec["state"] in TERMINAL_STATES:
+                job.error = rec.get("error")
+                job.summary_override = rec.get("summary")
+                job.record("recovered", state=rec["state"],
+                           requeues=job.requeues)
+                continue
+            job.warm = (
+                lookup_cached_outcome(
+                    job.source, job.bench, config, probe
+                ) is not None
+            )
+            job.record("recovered", state=QUEUED, attempt=job.attempt,
+                       warm=job.warm)
+            self._inflight[job.key] = job
+            self._tenant_pending[job.tenant] = (
+                self._tenant_pending.get(job.tenant, 0) + 1
+            )
+            self.queue.push(job)
+            self.recovery_requeued += 1
 
     # -- admission -------------------------------------------------------------
 
@@ -263,20 +466,62 @@ class Broker:
         name, source = self._resolve_program(request)
         key = job_key(name, source, config)
         with self._lock:
-            self.submitted += 1
             existing = self._inflight.get(key)
             if existing is not None and not existing.terminal:
+                # Coalescing bypasses the backpressure checks below: a
+                # duplicate adds zero work, so refusing it would only
+                # make an overloaded server *more* loaded via retries.
+                self.submitted += 1
                 existing.coalesced += 1
                 self.coalesced += 1
                 existing.record("coalesced", tenant=tenant)
-                return existing, False
-            self._next_id += 1
-            job = Job(
-                f"j{self._next_id:06d}", key, name, source, config,
-                tenant=tenant, priority=priority, clock=self._clock,
-            )
-            self._jobs[job.id] = job
-            self._inflight[key] = job
+                journal_coalesce = existing.id
+            else:
+                journal_coalesce = None
+                if (
+                    self.max_depth is not None
+                    and self.queue.depth() >= self.max_depth
+                ):
+                    self.rejected_depth += 1
+                    raise ServiceError(
+                        429, "overloaded",
+                        f"queue depth is at its bound ({self.max_depth}); "
+                        f"retry later",
+                        retry_after=self.retry_after,
+                    )
+                if (
+                    self.tenant_pending is not None
+                    and self._tenant_pending.get(tenant, 0)
+                    >= self.tenant_pending
+                ):
+                    self.rejected_tenant += 1
+                    raise ServiceError(
+                        429, "tenant_overloaded",
+                        f"tenant {tenant!r} has {self.tenant_pending} "
+                        f"job(s) pending (its admission bound); retry later",
+                        fields=("tenant",),
+                        retry_after=self.retry_after,
+                    )
+                self.submitted += 1
+                self._next_id += 1
+                job = Job(
+                    f"j{self._next_id:06d}", key, name, source, config,
+                    tenant=tenant, priority=priority, clock=self._clock,
+                )
+                self._jobs[job.id] = job
+                self._inflight[key] = job
+                self._tenant_pending[tenant] = (
+                    self._tenant_pending.get(tenant, 0) + 1
+                )
+        if journal_coalesce is not None:
+            self._journal_append("coalesce", job=journal_coalesce)
+            return existing, False
+        # Write-ahead *before* the ack: under fsync=always a submission
+        # the client saw accepted survives any crash from here on.
+        self._journal_append(
+            "submit", job=job.id, key=key, bench=name, source=source,
+            config=config.to_dict(), tenant=tenant, priority=priority,
+        )
         # Warm probe outside the broker lock (it touches the disk store):
         # purely telemetry — the worker's cell runner re-resolves it.
         probe = ArtifactCache(self.config.cache_dir, "readonly")
@@ -288,7 +533,14 @@ class Broker:
                 self.warm_submissions += 1
         job.record("queued", state=QUEUED, tenant=tenant,
                    priority=priority, warm=job.warm)
-        self.queue.push(job)
+        try:
+            self.queue.push(job)
+        except RuntimeError:
+            # Shutdown raced the admission check; the job is journaled
+            # and will be recovered, but this caller should back off.
+            raise ServiceError(
+                503, "shutting_down", "server is shutting down"
+            ) from None
         return job, True
 
     # -- lookup ----------------------------------------------------------------
@@ -319,12 +571,17 @@ class Broker:
         with self._lock:
             if self._inflight.get(job.key) is job:
                 del self._inflight[job.key]
+            self._release_tenant(job.tenant)
+        self._journal_append("cancel", job=job.id)
         return job
 
     # -- execution -------------------------------------------------------------
 
     def _worker_loop(self, worker_id: str) -> None:
-        while not self._stopping:
+        # Gated on _halting, not _stopping: a draining shutdown stops
+        # admission first but keeps the pool running until the backlog
+        # is terminal (or the drain deadline parks it).
+        while not self._halting:
             job = self.queue.pop(timeout=0.2)
             if job is None:
                 continue
@@ -342,6 +599,7 @@ class Broker:
             "started", state=RUNNING, worker=worker_id, attempt=job.attempt,
             queue_wait=job.started_at - job.created,
         )
+        self._journal_append("start", job=job.id, attempt=job.attempt)
         try:
             # The worker itself is a fault-injection phase: a
             # ``raise:worker[@attempt]`` clause models this worker dying
@@ -393,7 +651,14 @@ class Broker:
             with self._lock:
                 self.requeued += 1
             job.record("requeued", state=QUEUED, attempt=job.attempt)
-            self.queue.push(job)
+            self._journal_append("requeue", job=job.id, attempt=job.attempt,
+                                 requeues=job.requeues)
+            try:
+                self.queue.push(job)
+            except RuntimeError:
+                # Requeue raced shutdown: leave the job queued — the
+                # park pass (and the journal) hand it to the next boot.
+                pass
             return
         job.error = detail
         self._terminal(job, FAILED, error=detail,
@@ -432,7 +697,20 @@ class Broker:
             self.completed += 1
             if self._inflight.get(job.key) is job:
                 del self._inflight[job.key]
+            self._release_tenant(job.tenant)
         job.record("finished", state=state, **fields)
+        self._journal_append(
+            "finish", job=job.id, state=state, error=job.error,
+            summary=job.result_summary(), requeues=job.requeues,
+        )
+
+    def _release_tenant(self, tenant: str) -> None:
+        """Drop one from the tenant's non-terminal count (lock held)."""
+        count = self._tenant_pending.get(tenant, 0) - 1
+        if count > 0:
+            self._tenant_pending[tenant] = count
+        else:
+            self._tenant_pending.pop(tenant, None)
 
     # -- observability ---------------------------------------------------------
 
@@ -457,12 +735,35 @@ class Broker:
                 "submissions": self.warm_submissions,
                 "outcome_hits": self.warm_outcomes,
             }
+            admission = {
+                "max_depth": self.max_depth,
+                "tenant_pending": self.tenant_pending,
+                "retry_after": self.retry_after,
+                "rejected_depth": self.rejected_depth,
+                "rejected_tenant": self.rejected_tenant,
+                "pending_by_tenant": dict(
+                    sorted(self._tenant_pending.items())
+                ),
+            }
+            recovery = {
+                "recovered": self.recovered_jobs,
+                "requeued": self.recovery_requeued,
+                "parked": self.parked,
+                "journal_errors": self.journal_errors,
+            }
             alive = sum(1 for t in self._workers if t.is_alive())
+        journal = (
+            self.journal.stats() if self.journal is not None
+            else {"enabled": False}
+        )
         return {
             "uptime_seconds": self._clock() - self.started,
             "jobs": jobs,
             "coalesce_ratio": (coalesced / submitted) if submitted else 0.0,
             "warm": warm,
+            "admission": admission,
+            "recovery": recovery,
+            "journal": journal,
             "queue": self.queue.stats(),
             "workers": {"pool": self._worker_count, "alive": alive},
             "cache": self.cache.stats(),

@@ -5,11 +5,24 @@ and the service tests speak; it mirrors the HTTP surface one method per
 route and converts ``{"error": ...}`` envelopes back into
 :class:`~repro.service.broker.ServiceError` — callers see the same
 exception type on both sides of the wire.
+
+Two client-side robustness contracts live here:
+
+* **Fail fast** — every request carries a finite socket timeout (urllib
+  would otherwise block forever on a hung server), and the ``wait``
+  long-poll is chunked into ``poll_cap``-second legs so a stalled
+  connection surfaces as an error within one leg, not never.
+* **Backpressure** — a 429 from the broker's admission control is not an
+  error but a "later, please": the client retries with jittered
+  exponential backoff, honouring the server's ``Retry-After`` as the
+  delay floor, until the ``retry_budget`` (total seconds of backoff) is
+  spent — at which point the 429 propagates to the caller.
 """
 
 from __future__ import annotations
 
 import json
+import random
 import time
 import urllib.error
 import urllib.request
@@ -19,15 +32,71 @@ from .broker import ServiceError
 
 
 class ServiceClient:
-    """Thin blocking client for one service base URL."""
+    """Thin blocking client for one service base URL.
 
-    def __init__(self, base_url: str, timeout: float = 30.0):
+    ``timeout`` is the per-request socket timeout (must be finite —
+    hanging forever is the failure mode this client exists to avoid);
+    ``retry_budget``/``backoff_base``/``backoff_cap`` shape the 429
+    retry loop; ``poll_cap`` bounds one ``wait`` long-poll leg.
+    """
+
+    def __init__(
+        self,
+        base_url: str,
+        timeout: float = 30.0,
+        retry_budget: float = 60.0,
+        backoff_base: float = 0.05,
+        backoff_cap: float = 2.0,
+        poll_cap: float = 30.0,
+    ):
+        if timeout is None or timeout <= 0:
+            raise ValueError("timeout must be a positive number of seconds")
+        if poll_cap <= 0:
+            raise ValueError("poll_cap must be > 0")
         self.base_url = base_url.rstrip("/")
         self.timeout = timeout
+        self.retry_budget = retry_budget
+        self.backoff_base = backoff_base
+        self.backoff_cap = backoff_cap
+        self.poll_cap = poll_cap
+        #: 429-backoff retries performed (telemetry; the load test
+        #: asserts backpressure was actually exercised through here).
+        self.retries = 0
 
     # -- transport -------------------------------------------------------------
 
     def _request(
+        self,
+        method: str,
+        path: str,
+        body: Optional[Dict[str, Any]] = None,
+        timeout: Optional[float] = None,
+    ) -> Dict[str, Any]:
+        """One request, with the 429 backoff loop wrapped around it."""
+        budget = self.retry_budget
+        attempt = 0
+        while True:
+            try:
+                return self._request_once(method, path, body, timeout)
+            except ServiceError as exc:
+                if exc.status != 429:
+                    raise
+                delay = min(
+                    self.backoff_cap, self.backoff_base * (2 ** attempt)
+                )
+                # Full jitter (0.5x-1.5x) decorrelates a thundering herd
+                # of retrying clients; Retry-After is the floor.
+                delay *= 0.5 + random.random()
+                if exc.retry_after is not None:
+                    delay = max(delay, exc.retry_after)
+                if delay > budget:
+                    raise
+                budget -= delay
+                attempt += 1
+                self.retries += 1
+                time.sleep(delay)
+
+    def _request_once(
         self,
         method: str,
         path: str,
@@ -52,15 +121,31 @@ class ServiceClient:
 
     @staticmethod
     def _as_service_error(exc: urllib.error.HTTPError) -> ServiceError:
+        retry_after: Optional[float] = None
+        try:
+            raw = exc.headers.get("Retry-After") if exc.headers else None
+            if raw is not None:
+                retry_after = float(raw)
+        except (TypeError, ValueError):
+            retry_after = None
         try:
             payload = json.loads(exc.read().decode("utf-8"))
             error = payload["error"]
+            if "retry_after" in error:
+                # The body carries the broker's exact float; the header
+                # is the same value ceiled to whole seconds (HTTP spec).
+                retry_after = float(error["retry_after"])
             return ServiceError(
                 exc.code, error["code"], error["message"],
                 fields=tuple(error.get("fields", ())),
+                retry_after=retry_after,
             )
+        except ServiceError:
+            raise
         except Exception:  # noqa: BLE001 - non-JSON error body
-            return ServiceError(exc.code, "http_error", str(exc))
+            return ServiceError(
+                exc.code, "http_error", str(exc), retry_after=retry_after
+            )
 
     # -- routes ----------------------------------------------------------------
 
@@ -74,7 +159,9 @@ class ServiceClient:
         priority: int = 0,
     ) -> Dict[str, Any]:
         """POST one job; returns the job descriptor (``coalesced_onto``
-        tells whether it folded onto an in-flight duplicate)."""
+        tells whether it folded onto an in-flight duplicate).  A 429
+        rejection is retried with backoff (see class docstring) — safe
+        because submission is idempotent under coalescing."""
         body: Dict[str, Any] = {"tenant": tenant, "priority": priority}
         if source is not None:
             body["source"] = source
@@ -90,7 +177,7 @@ class ServiceClient:
         suffix = f"?wait={wait:g}" if wait > 0 else ""
         return self._request(
             "GET", f"/v1/jobs/{job_id}{suffix}",
-            timeout=max(self.timeout, wait + 10.0),
+            timeout=self.timeout + wait,
         )
 
     def jobs(self) -> List[Dict[str, Any]]:
@@ -123,14 +210,17 @@ class ServiceClient:
     def wait(
         self, job_id: str, timeout: float = 300.0, poll: float = 0.2
     ) -> Dict[str, Any]:
-        """Poll until the job is terminal; returns the final descriptor."""
+        """Poll until the job is terminal; returns the final descriptor.
+
+        Each long-poll leg is capped at :attr:`poll_cap` seconds, so a
+        wedged connection costs one leg, never the whole timeout."""
         from .jobs import TERMINAL_STATES
 
         deadline = time.monotonic() + timeout
         while True:
             remaining = deadline - time.monotonic()
             descriptor = self.job(
-                job_id, wait=max(0.0, min(remaining, 30.0))
+                job_id, wait=max(0.0, min(remaining, self.poll_cap))
             )
             if descriptor["state"] in TERMINAL_STATES:
                 return descriptor
@@ -149,8 +239,9 @@ class ServiceClient:
     def healthz(self) -> Dict[str, Any]:
         return self._request("GET", "/v1/healthz")
 
-    def shutdown(self) -> Dict[str, Any]:
-        return self._request("POST", "/v1/shutdown", {})
+    def shutdown(self, drain: bool = False) -> Dict[str, Any]:
+        suffix = "?drain=1" if drain else ""
+        return self._request("POST", f"/v1/shutdown{suffix}", {})
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"<service client {self.base_url}>"

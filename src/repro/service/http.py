@@ -22,7 +22,8 @@ GET       ``/v1/jobs/{id}/events``    NDJSON event stream; ``?follow=1``
 POST      ``/v1/jobs/{id}/cancel``    cancel a still-queued job
 GET       ``/v1/stats``               broker + queue + cache counters
 GET       ``/v1/healthz``             liveness (always 200 while serving)
-POST      ``/v1/shutdown``            graceful stop (drains, then exits)
+POST      ``/v1/shutdown``            graceful stop; ``?drain=1`` finishes
+                                      or journal-parks admitted work first
 ========  ==========================  =======================================
 """
 
@@ -65,19 +66,31 @@ class _Handler(BaseHTTPRequestHandler):
             super().log_message(format, *args)
 
     def _send_json(
-        self, status: int, payload: Dict[str, Any], close: bool = False
+        self,
+        status: int,
+        payload: Dict[str, Any],
+        close: bool = False,
+        headers: Optional[Dict[str, str]] = None,
     ) -> None:
         body = (json.dumps(payload, sort_keys=True) + "\n").encode("utf-8")
         self.send_response(status)
         self.send_header("Content-Type", "application/json")
         self.send_header("Content-Length", str(len(body)))
+        for name, value in (headers or {}).items():
+            self.send_header(name, value)
         if close:
             self.send_header("Connection", "close")
         self.end_headers()
         self.wfile.write(body)
 
     def _send_error(self, exc: ServiceError) -> None:
-        self._send_json(exc.status, exc.to_dict())
+        headers = None
+        if exc.retry_after is not None:
+            # RFC 7231 Retry-After is delta-seconds (an integer); round
+            # up so a client honouring only the header never retries
+            # before the broker's own hint.
+            headers = {"Retry-After": str(max(1, int(-(-exc.retry_after // 1))))}
+        self._send_json(exc.status, exc.to_dict(), headers=headers)
 
     def _read_body(self) -> Any:
         length = int(self.headers.get("Content-Length") or 0)
@@ -146,7 +159,8 @@ class _Handler(BaseHTTPRequestHandler):
                 job = self.broker.get(path[len("/v1/jobs/"):])
                 wait = self._number(query, "wait", 0.0)
                 if wait > 0:
-                    job.wait(timeout=min(wait, 300.0))
+                    cap = self.server.service.max_wait  # type: ignore[attr-defined]
+                    job.wait(timeout=min(wait, cap))
                 self._send_json(200, job.to_dict(include_events=True))
             else:
                 raise ServiceError(404, "not_found", f"no route {path!r}")
@@ -154,7 +168,7 @@ class _Handler(BaseHTTPRequestHandler):
             self._send_error(exc)
 
     def do_POST(self) -> None:  # noqa: N802 - BaseHTTPRequestHandler API
-        path, _query = self._route()
+        path, query = self._route()
         try:
             if path == "/v1/jobs":
                 request = self._read_body()
@@ -167,8 +181,11 @@ class _Handler(BaseHTTPRequestHandler):
                 job = self.broker.cancel(job_id)
                 self._send_json(200, job.to_dict())
             elif path == "/v1/shutdown":
-                self._send_json(200, {"status": "stopping"}, close=True)
-                self.server.service.request_shutdown()  # type: ignore[attr-defined]
+                drain = query.get("drain") in ("1", "true", "yes")
+                self._send_json(
+                    200, {"status": "stopping", "drain": drain}, close=True
+                )
+                self.server.service.request_shutdown(drain=drain)  # type: ignore[attr-defined]
             else:
                 raise ServiceError(404, "not_found", f"no route {path!r}")
         except ServiceError as exc:
@@ -217,10 +234,13 @@ class ServiceServer:
         host: str = "127.0.0.1",
         port: int = 0,
         verbose: bool = False,
+        max_wait: float = 300.0,
         **broker_kwargs: Any,
     ):
         self.broker = broker or Broker(**broker_kwargs)
         self.verbose = verbose
+        #: Server-side cap on one ``?wait=`` long-poll (clients re-poll).
+        self.max_wait = max_wait
         self._httpd = _Server((host, port), _Handler)
         self._httpd.service = self  # type: ignore[attr-defined]
         self.host, self.port = self._httpd.server_address[:2]
@@ -253,20 +273,27 @@ class ServiceServer:
         finally:
             self.stop()
 
-    def request_shutdown(self) -> None:
-        """Asynchronous graceful stop (the ``POST /v1/shutdown`` path):
-        the listener winds down off-thread so the triggering request can
-        still be answered."""
-        threading.Thread(target=self.stop, daemon=True).start()
+    def request_shutdown(self, drain: bool = False) -> None:
+        """Asynchronous graceful stop (the ``POST /v1/shutdown`` path and
+        the CLI's SIGTERM handler): the listener winds down off-thread so
+        the triggering request can still be answered.  ``drain=True``
+        lets the broker finish (or journal-park) admitted work first."""
+        threading.Thread(
+            target=self.stop, kwargs={"drain": drain}, daemon=True
+        ).start()
 
-    def stop(self) -> None:
+    def stop(self, drain: bool = False) -> None:
         """Stop listening, drain the broker, join the workers."""
         if self._stopped.is_set():
             return
         self._stopped.set()
+        # Admission stops before the listener does: an in-flight submit
+        # that beats the socket teardown gets a structured 503 instead
+        # of a connection reset.
+        self.broker._stopping = True
         self._httpd.shutdown()
         self._httpd.server_close()
-        self.broker.shutdown(wait=True)
+        self.broker.shutdown(wait=True, drain=drain)
         if self._thread is not None and self._thread.is_alive():
             self._thread.join(timeout=5.0)
 

@@ -133,7 +133,12 @@ class Job:
         self.requeues = 0
         self.coalesced = 0
         self.warm = False
+        self.recovered = False
         self.result: Optional[Dict[str, Any]] = None
+        #: Terminal summary restored from the journal (a recovered job
+        #: has no in-memory engine cell; :meth:`result_summary` falls
+        #: back to this).
+        self.summary_override: Optional[Dict[str, Any]] = None
         self.error: Optional[str] = None
         self.events: List[Dict[str, Any]] = []
         self._seq = 0
@@ -205,7 +210,7 @@ class Job:
         as (None until terminal): the fields the byte-identity acceptance
         compares against serial execution."""
         if self.result is None:
-            return None
+            return self.summary_override
         cell = self.result
         return {
             "bench": cell["bench"],
@@ -235,6 +240,7 @@ class Job:
                 "requeues": self.requeues,
                 "coalesced": self.coalesced,
                 "warm": self.warm,
+                "recovered": self.recovered,
                 "config": self.config.to_dict(),
                 "error": self.error,
                 "result": self.result_summary(),

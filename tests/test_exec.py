@@ -260,7 +260,7 @@ class TestArtifactCache:
         assert cache.stale == 1
         assert not os.path.exists(path), "stale entries are deleted"
 
-    def test_corrupt_entry_dropped(self, tmp_path):
+    def test_corrupt_entry_quarantined(self, tmp_path):
         cache = ArtifactCache(str(tmp_path), "on")
         material = prepared_key_material("src", "x", "andersen")
         cache.store("prepared", material, {"payload": 1})
@@ -268,7 +268,8 @@ class TestArtifactCache:
         with open(path, "w") as fh:
             fh.write("not json{")
         assert cache.load("prepared", material) is None
-        assert cache.stale == 1
+        assert cache.corrupt == 1 and cache.quarantined == 1
+        assert not os.path.exists(path)
 
     def test_policies(self, tmp_path):
         material = prepared_key_material("src", "x", "andersen")
@@ -301,6 +302,101 @@ class TestArtifactCache:
         )
         assert cache.clear() == 1
         assert cache.stats()["entries"] == 0
+
+
+class TestCacheIntegrity:
+    """Every load verifies the entry's SHA-256 digest; corruption is
+    quarantined (kept for forensics, out of the lookup path) and the
+    artifact recomputes — self-healing, never a crash or a wrong answer.
+    """
+
+    def _store_one(self, tmp_path, payload=None):
+        cache = ArtifactCache(str(tmp_path), "on")
+        material = prepared_key_material("src", "x", "andersen")
+        cache.store("prepared", material, payload or {"payload": 1})
+        path = cache._path("prepared", canonical_key(material))
+        return cache, material, path
+
+    def test_byte_flip_anywhere_is_detected(self, tmp_path):
+        from repro.exec.cache import entry_digest
+
+        cache, material, path = self._store_one(tmp_path)
+        entry = json.load(open(path))
+        assert entry["digest"] == entry_digest(entry)
+        # Flip a value *outside* the payload — still caught, because the
+        # digest covers the whole entry, not just the payload.
+        entry["created"] = entry.get("created", 0) + 1
+        json.dump(entry, open(path, "w"))
+        assert cache.load("prepared", material) is None
+        assert cache.corrupt == 1 and cache.quarantined == 1
+
+    def test_quarantine_preserves_the_evidence(self, tmp_path):
+        cache, material, path = self._store_one(tmp_path)
+        original = open(path, "rb").read()
+        damaged = bytearray(original)
+        damaged[len(damaged) // 2] ^= 0xFF
+        with open(path, "wb") as fh:
+            fh.write(bytes(damaged))
+        assert cache.load("prepared", material) is None
+        qdir = os.path.join(str(tmp_path), "quarantine")
+        quarantined = os.listdir(qdir)
+        assert quarantined == [os.path.basename(path)]
+        kept = open(os.path.join(qdir, quarantined[0]), "rb").read()
+        assert kept == bytes(damaged)
+
+    def test_pre_digest_entry_is_stale_not_corrupt(self, tmp_path):
+        # Entries written before the digest upgrade lack the field:
+        # they recompute (stale), they are not treated as damage.
+        cache, material, path = self._store_one(tmp_path)
+        entry = json.load(open(path))
+        del entry["digest"]
+        json.dump(entry, open(path, "w"))
+        assert cache.load("prepared", material) is None
+        assert cache.stale == 1 and cache.quarantined == 0
+
+    def test_corruption_self_heals_on_restore(self, tmp_path):
+        cache, material, path = self._store_one(tmp_path)
+        with open(path, "w") as fh:
+            fh.write("}{")
+        assert cache.load("prepared", material) is None  # quarantined
+        assert cache.store("prepared", material, {"payload": 1})
+        assert cache.load("prepared", material) == {"payload": 1}
+
+    def test_quarantine_in_stats_and_cleared(self, tmp_path):
+        cache, material, path = self._store_one(tmp_path)
+        with open(path, "w") as fh:
+            fh.write("}{")
+        cache.load("prepared", material)
+        stats = cache.stats()
+        assert stats["session"]["corrupt"] == 1
+        assert stats["quarantine"]["entries"] == 1
+        assert stats["quarantine"]["bytes"] > 0
+        # The quarantine is part of the store: clear() empties it too.
+        cache.clear()
+        assert cache.stats()["quarantine"] == {"entries": 0, "bytes": 0}
+
+    def test_run_cell_recomputes_through_corruption(self, tmp_path):
+        from repro.exec.engine import run_cell
+
+        spec = {"bench": "tiny", "source": SOURCE,
+                "config": {"cache": "on", "cache_dir": str(tmp_path)}}
+        fresh = run_cell(dict(spec))
+        # Damage every stored artifact, then re-run: digests catch all
+        # of it, and the recomputed cell is identical.
+        for dirpath, _dirs, files in os.walk(os.path.join(str(tmp_path),
+                                                          "objects")):
+            for name in files:
+                target = os.path.join(dirpath, name)
+                blob = bytearray(open(target, "rb").read())
+                blob[len(blob) // 2] ^= 0xFF
+                with open(target, "wb") as fh:
+                    fh.write(bytes(blob))
+        healed = run_cell(dict(spec))
+        assert healed["cycles"] == fresh["cycles"]
+        assert healed["dynamic_moves"] == fresh["dynamic_moves"]
+        assert healed["status"] == fresh["status"]
+        cache = ArtifactCache(str(tmp_path), "on")
+        assert cache.stats()["quarantine"]["entries"] >= 1
 
 
 def _hammer_one_cache_dir(args):

@@ -164,6 +164,55 @@ class TestFairQueue:
         with pytest.raises(RuntimeError):
             queue.push(make_job())
 
+    def test_cancel_at_quota_does_not_leak_the_slot(self):
+        # A queued job cancelled while its tenant sits at quota must not
+        # consume the slot when pop() later skips over it.
+        queue = FairQueue(quota=1)
+        a1 = make_job("a1", tenant="a")
+        a2 = make_job("a2", tenant="a")
+        b1 = make_job("b1", tenant="b")
+        for job in (a1, a2, b1):
+            queue.push(job)
+        assert queue.pop() is a1            # tenant a now at quota
+        assert queue.cancel(a2)
+        assert queue.pop() is b1
+        queue.task_done(a1)
+        # a2 is dropped at pop time, never returned, never "running".
+        assert queue.pop(timeout=0.05) is None
+        assert queue.stats()["cancelled"] == 1
+        assert queue.stats()["running"] == {"b": 1}
+
+    def test_sustained_high_priority_starves_low_by_design(self):
+        # Priority is strict between buckets (fairness is *within* a
+        # bucket): a sustained high-priority stream defers low-priority
+        # work until the high bucket is empty.  This documents the
+        # contract — quotas, not priorities, are the anti-starvation knob.
+        queue = FairQueue()
+        low = make_job("low", priority=0)
+        queue.push(low)
+        order = []
+        for i in range(3):
+            high = make_job(f"high{i}", priority=9)
+            queue.push(high)           # refilled between pops
+            order.append(queue.pop().id)
+        order.append(queue.pop().id)
+        assert order == ["high0", "high1", "high2", "low"]
+
+    def test_requeue_after_crash_goes_to_the_fifo_back(self):
+        # A worker-crash requeue re-enters through push(): the job loses
+        # its place and runs after its tenant's already-queued work, so
+        # a crashing job cannot head-of-line-block its own tenant.
+        queue = FairQueue()
+        first = make_job("first")
+        second = make_job("second")
+        queue.push(first)
+        queue.push(second)
+        crashed = queue.pop()
+        assert crashed is first
+        queue.task_done(crashed)
+        queue.push(crashed)                 # the requeue path
+        assert [queue.pop().id, queue.pop().id] == ["second", "first"]
+
 
 # -- broker admission and validation ------------------------------------------
 
