@@ -12,6 +12,12 @@
 #   staticdiff  static-vs-dynamic drift differ over the whole suite:
 #               every static access bound must contain the observed
 #               dynamic counts/regions (zero violations).
+#   regioncheck region-granular MOD/REF checks over the whole suite:
+#               the cross-tier region refinement chain holds on every
+#               bench (zero errors), every scheme outcome passes the
+#               region-located partition invariants with a sound
+#               roofline ratio (>= 1.0), and >= 3 benches carry
+#               region-splittable advisories.
 #   cache       artifact cache smoke (cold vs warm Table-1 sweep).
 #   service     job-server smoke: `repro serve` on an ephemeral port,
 #               healthz, a small concurrent loadtest burst (zero lost
@@ -30,7 +36,7 @@ ROOT="$(cd "$(dirname "$0")/.." && pwd)"
 cd "$ROOT"
 export PYTHONPATH="$ROOT/src${PYTHONPATH:+:$PYTHONPATH}"
 
-STAGES="tools examples benches faults ptdiff staticdiff cache service chaos"
+STAGES="tools examples benches faults ptdiff staticdiff regioncheck cache service chaos"
 failures=0
 
 note() { printf '== %s\n' "$*"; }
@@ -211,6 +217,72 @@ for bench in all_benchmarks():
     if report.has_errors:
         print(report.render_text())
         bad += 1
+sys.exit(1 if bad else 0)
+PY
+}
+
+# -- regioncheck: region-granular MOD/REF checks over the whole suite ---------
+# The cross-tier region refinement chain must hold on every bench, every
+# scheme outcome must satisfy the region-located partition invariants
+# (zero ERROR findings) with a sound roofline ratio, and the suite must
+# carry at least three region-splittable advisories — the acceptance
+# gates of benchmarks/bench_region_interference.py at CI scale.
+
+stage_regioncheck() {
+    note "region-granular checks (refinement chain, outcome invariants, roofline)"
+    python - <<'PY' || failures=$((failures + 1))
+import sys
+
+from repro.bench import all_benchmarks
+from repro.lint import check_region_outcome, lint_module
+from repro.machine import two_cluster_machine
+from repro.pipeline import (
+    PreparedProgram,
+    run_gdp,
+    run_naive,
+    run_profile_max,
+    run_unified,
+)
+
+SCHEMES = (
+    ("gdp", run_gdp), ("profilemax", run_profile_max),
+    ("naive", run_naive), ("unified", run_unified),
+)
+machine = two_cluster_machine(move_latency=5)
+bad = 0
+splittable_benches = []
+for bench in all_benchmarks():
+    prepared = PreparedProgram.from_source(bench.source, bench.name)
+    lint = lint_module(prepared.module, only=["regioncheck"])
+    advisories = sum(
+        1 for d in lint.diagnostics if d.rule == "region-splittable"
+    )
+    if advisories:
+        splittable_benches.append(bench.name)
+    errors = len(lint.errors)
+    worst = 1.0
+    for name, run in SCHEMES:
+        outcome = run(prepared, machine)
+        report = check_region_outcome(prepared, outcome)
+        errors += len(report.errors)
+        for diag in report.errors:
+            print(f"  {name}: {diag.render()}")
+        ratio = (outcome.roofline or {}).get("ratio", 0.0)
+        worst = max(worst, ratio)
+        if outcome.roofline is None or ratio < 1.0:
+            print(f"  {name}: unsound roofline {outcome.roofline}")
+            errors += 1
+    status = "FAIL" if errors else "ok"
+    print(f"{status}: regioncheck {bench.name}: {errors} error(s), "
+          f"{advisories} splittable advisory(ies), "
+          f"worst roofline x{worst:.2f}")
+    bad += 1 if errors else 0
+if len(splittable_benches) < 3:
+    print(f"FAIL: only {splittable_benches} carry region-splittable "
+          f"advisories (need >= 3 benches)")
+    bad += 1
+else:
+    print(f"ok: splittable advisories on {splittable_benches}")
 sys.exit(1 if bad else 0)
 PY
 }

@@ -9,6 +9,12 @@ from .dfg import ProgramGraph, ProgramNode
 from .dominators import DominatorTree
 from .liveness import Liveness
 from .loops import Loop, LoopInfo
+from .modref import (
+    ModRefAnalysis,
+    ModRefSummary,
+    effect_contains,
+    format_effect,
+)
 from .objects import DataObject, ObjectTable
 from .pointsto import (
     TIERS,
@@ -56,6 +62,10 @@ __all__ = [
     "LoopInfo",
     "DataObject",
     "ObjectTable",
+    "ModRefAnalysis",
+    "ModRefSummary",
+    "effect_contains",
+    "format_effect",
     "TIERS",
     "PointsTo",
     "PointsToResult",

@@ -256,6 +256,7 @@ def _partition(args) -> int:
     _print_precision(prepared)
     print(f"cycles:  {outcome.cycles:.0f}")
     print(f"dynamic intercluster moves: {outcome.dynamic_moves:.0f}")
+    _print_roofline(outcome.roofline)
     if outcome.object_home:
         print("object placement:")
         for obj, cluster in sorted(outcome.object_home.items()):
@@ -268,6 +269,17 @@ def _partition_validity_error():
     from .lint import PartitionValidityError
 
     return PartitionValidityError
+
+
+def _print_roofline(roofline) -> None:
+    """One-line distance-from-data-movement-optimum summary."""
+    if not roofline:
+        return
+    print(
+        f"roofline: {roofline['total_traffic_bytes']:.0f} bytes moved "
+        f"vs {roofline['lower_bound_bytes']:.0f} I/O lower bound "
+        f"(x{roofline['ratio']:.2f} from optimum)"
+    )
 
 
 def _partition_resilient(args, config: RunConfig) -> int:
@@ -294,6 +306,9 @@ def _partition_resilient(args, config: RunConfig) -> int:
         prepared.pointsto_tier, prepared.pointsto.stats().to_dict()
     )
     scheme = result.scheme
+    roofline = getattr(result, "roofline", None)
+    if roofline:
+        result.report.record_roofline(scheme, roofline)
     if result.fell_back:
         print(f"scheme:  {scheme} (fallback from {result.requested})")
     else:
@@ -305,6 +320,7 @@ def _partition_resilient(args, config: RunConfig) -> int:
     _print_precision(prepared)
     print(f"cycles:  {result.cycles:.0f}")
     print(f"dynamic intercluster moves: {result.dynamic_moves:.0f}")
+    _print_roofline(roofline)
     summary = result.report.to_dict()["summary"]
     print(f"attempts: {summary['attempts']}  faults: {summary['faults']}  "
           f"fallbacks: {summary['fallbacks']}")
@@ -346,14 +362,19 @@ def _compare_resilient(args, config: RunConfig) -> int:
         out = outcomes[name]
         degraded = degraded or out.fell_back
         ran_as = out.scheme if out.fell_back else ""
+        roofline = getattr(out, "roofline", None)
+        if roofline:
+            report.record_roofline(name, roofline)
         rows.append([
             name, ran_as, f"{out.cycles:.0f}",
             f"{base / out.cycles:.3f}" if out.cycles else "-",
             f"{out.dynamic_moves:.0f}",
+            f"{roofline['ratio']:.2f}" if roofline else "-",
         ])
     _print_precision(prepared)
     print(format_table(
-        ["scheme", "ran as", "cycles", "vs unified", "dyn moves"], rows
+        ["scheme", "ran as", "cycles", "vs unified", "dyn moves",
+         "x-roofline"], rows
     ))
     _save_run_report(args, report)
     return EXIT_DEGRADED if degraded else EXIT_OK
@@ -378,9 +399,12 @@ def _compare(args) -> int:
             name, f"{out.cycles:.0f}",
             f"{base / out.cycles:.3f}" if out.cycles else "-",
             f"{out.dynamic_moves:.0f}",
+            f"{out.roofline['ratio']:.2f}" if out.roofline else "-",
         ])
     _print_precision(prepared)
-    print(format_table(["scheme", "cycles", "vs unified", "dyn moves"], rows))
+    print(format_table(
+        ["scheme", "cycles", "vs unified", "dyn moves", "x-roofline"], rows
+    ))
     return EXIT_OK
 
 
@@ -401,6 +425,7 @@ def _lint(args) -> int:
     from .lint import (
         DETERMINISTIC_COLUMNS,
         Severity,
+        check_region_outcome,
         check_scheme_outcome,
         lint_with_stats,
     )
@@ -449,6 +474,7 @@ def _lint(args) -> int:
                                     machine=machine)
         outcome = pipe.run(prepared, args.scheme)
         report.extend(check_scheme_outcome(prepared, outcome))
+        report.extend(check_region_outcome(prepared, outcome))
 
     fmt = "json" if args.json else args.format
     if fmt == "json":

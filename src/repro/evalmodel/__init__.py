@@ -4,6 +4,12 @@ plain-text reporting helpers."""
 
 from .cycles import BlockStats, EvalResult, evaluate_module
 from .exhaustive import ExhaustiveResult, MappingPoint, exhaustive_search
+from .roofline import (
+    WORD_BYTES,
+    RooflineModel,
+    build_roofline,
+    roofline_for,
+)
 from .report import (
     arithmetic_mean,
     bar_chart,
@@ -19,6 +25,10 @@ __all__ = [
     "ExhaustiveResult",
     "MappingPoint",
     "exhaustive_search",
+    "WORD_BYTES",
+    "RooflineModel",
+    "build_roofline",
+    "roofline_for",
     "arithmetic_mean",
     "bar_chart",
     "format_table",

@@ -247,6 +247,10 @@ def outcome_key_material(
         "pointsto_tier": pointsto_tier,
         "scheme": scheme,
         "seed": seed,
+        # Payload schema revision: bumping it retires artifacts whose
+        # payloads predate a field the engine now reads (v2 added the
+        # data-movement roofline summary).
+        "schema": 2,
     }
 
 
@@ -278,6 +282,11 @@ def outcome_to_payload(outcome) -> Dict[str, Any]:
         },
         "timings": dict(sorted(outcome.timings.items())),
         "rhop_runs": outcome.rhop_runs,
+        "roofline": (
+            dict(sorted(outcome.roofline.items()))
+            if outcome.roofline is not None
+            else None
+        ),
     }
 
 
@@ -301,7 +310,7 @@ def outcome_from_payload(payload: Dict[str, Any], machine):
             length, frequency, moves
         )
     object_home: Optional[Dict[str, int]] = payload["object_home"]
-    return SchemeOutcome(
+    outcome = SchemeOutcome(
         payload["scheme"],
         machine,
         module,
@@ -311,3 +320,6 @@ def outcome_from_payload(payload: Dict[str, Any], machine):
         dict(payload["timings"]),
         payload["rhop_runs"],
     )
+    roofline = payload.get("roofline")
+    outcome.roofline = dict(roofline) if roofline is not None else None
+    return outcome

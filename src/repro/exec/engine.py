@@ -226,6 +226,9 @@ def run_cell(
                 report.record_run(config.scheme, [config.scheme])
                 ran_as = out_payload.get("ran_as", out_payload["scheme"])
                 report.record_final(config.scheme, ran_as, "ok")
+                roofline = out_payload.get("roofline")
+                if roofline is not None:
+                    report.record_roofline(ran_as, roofline)
                 cell.update(
                     status=(
                         "degraded"
@@ -234,6 +237,7 @@ def run_cell(
                     ran_as=ran_as,
                     cycles=out_payload["eval"]["cycles"],
                     dynamic_moves=out_payload["eval"]["dynamic_moves"],
+                    roofline_ratio=(roofline or {}).get("ratio"),
                     error=None,
                 )
                 return _finish_cell(cell, cache_events, report, started)
@@ -257,7 +261,7 @@ def run_cell(
         except LadderExhausted as exc:
             cell.update(
                 status="failed", ran_as=None, cycles=None,
-                dynamic_moves=None, error=str(exc),
+                dynamic_moves=None, roofline_ratio=None, error=str(exc),
             )
             return _finish_cell(cell, cache_events, report, started)
 
@@ -274,18 +278,22 @@ def run_cell(
         elif not cacheable and config.cache_enabled:
             cache_events["outcome"] = "skip"
 
+        roofline = getattr(result, "roofline", None)
+        if roofline is not None:
+            report.record_roofline(result.scheme, roofline)
         cell.update(
             status="degraded" if result.fell_back else "ok",
             ran_as=result.scheme,
             cycles=result.cycles,
             dynamic_moves=result.dynamic_moves,
+            roofline_ratio=(roofline or {}).get("ratio"),
             error=None,
         )
         return _finish_cell(cell, cache_events, report, started)
     except Exception as exc:  # noqa: BLE001 - a cell must never kill the sweep
         cell.update(
             status="failed", ran_as=None, cycles=None, dynamic_moves=None,
-            error=f"{type(exc).__name__}: {exc}",
+            roofline_ratio=None, error=f"{type(exc).__name__}: {exc}",
         )
         return _finish_cell(cell, cache_events, report, started)
 
@@ -441,19 +449,21 @@ class SweepResult:
                 f"{base / cell['cycles']:.3f}"
                 if base and cell["cycles"] else "-"
             )
+            ratio = cell.get("roofline_ratio")
             rows.append([
                 cell["bench"],
                 cell["scheme"],
                 cell["ran_as"] if cell["ran_as"] != cell["scheme"] else "",
                 f"{cell['cycles']:.0f}" if cell["cycles"] else "-",
                 rel,
+                f"{ratio:.2f}" if ratio else "-",
                 cell["status"],
                 cell["cache"]["outcome"],
                 f"{cell['seconds']:.2f}",
             ])
         table = format_table(
             ["benchmark", "scheme", "ran as", "cycles", "vs unified",
-             "status", "cache", "secs"],
+             "x-roofline", "status", "cache", "secs"],
             rows,
         )
         counts = self.cache_counts().get("outcome", {})

@@ -49,6 +49,13 @@ from .partcheck import (
     check_scheme_outcome,
     diagnose_lock_violations,
 )
+from .regioncheck import (
+    RegionInterferencePass,
+    check_region_outcome,
+    diff_region_tiers,
+    region_summary,
+    splittable_advisories,
+)
 
 __all__ = [
     "Diagnostic",
@@ -77,4 +84,9 @@ __all__ = [
     "check_schedule",
     "check_scheme_outcome",
     "diagnose_lock_violations",
+    "RegionInterferencePass",
+    "check_region_outcome",
+    "diff_region_tiers",
+    "region_summary",
+    "splittable_advisories",
 ]

@@ -28,6 +28,29 @@ register_rule(
     "const-condition",
     "branch condition proven constant by value-range analysis",
 )
+register_rule("ir-verify", "structural IR invariant violated")
+register_rule("unreachable-block", "basic block unreachable from entry")
+register_rule("dead-store", "stored value can never be observed")
+register_rule("never-read-def", "defined register is never read")
+register_rule(
+    "uninitialized-read", "register read before any definition on all paths"
+)
+register_rule(
+    "maybe-uninitialized",
+    "register read before definition on some path",
+)
+register_rule("unused-global", "global object is never accessed")
+register_rule(
+    "pointsto-unknown", "memory access resolves to no data object"
+)
+register_rule(
+    "pointsto-imprecise",
+    "memory access may touch many objects under the solved tier",
+)
+register_rule(
+    "pointsto-tier-delta",
+    "a sharper points-to tier would shrink this access's object set",
+)
 
 
 def _diag(

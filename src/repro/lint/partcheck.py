@@ -34,7 +34,48 @@ from ..partition.merges import MergeResult
 from ..partition.rhop import RHOPResult
 from ..schedule.depgraph import DependenceGraph
 from ..schedule.listsched import ListScheduler
-from .diagnostics import DiagnosticReport, Severity
+from .diagnostics import DiagnosticReport, Severity, register_rule
+
+register_rule("object-home-missing", "accessed object has no home cluster")
+register_rule("object-home-range", "object homed on a nonexistent cluster")
+register_rule(
+    "object-home-conflict", "merged objects homed on different clusters"
+)
+register_rule(
+    "size-imbalance", "data partition exceeds the size-balance bound"
+)
+register_rule(
+    "memory-capacity", "cluster memory capacity exceeded by homed objects"
+)
+register_rule(
+    "lock-violation", "memory op placed off its object's home cluster"
+)
+register_rule(
+    "infeasible-lock", "memory lock names a nonexistent cluster"
+)
+register_rule("unassigned-op", "operation missing from the assignment")
+register_rule(
+    "assignment-range", "operation assigned to a nonexistent cluster"
+)
+register_rule(
+    "infeasible-resources",
+    "block demands more slots than one cluster issues",
+)
+register_rule("useless-icmove", "intercluster move with no consumer")
+register_rule(
+    "icmove-mismatch", "intercluster move source/destination disagree"
+)
+register_rule(
+    "icmove-bad-source", "intercluster move reads an unavailable value"
+)
+register_rule(
+    "cut-edge-unmoved",
+    "value crosses clusters with no intercluster move",
+)
+register_rule("schedule-failure", "list scheduler failed on a block")
+register_rule(
+    "schedule-infeasible", "schedule violates machine issue limits"
+)
 
 
 def _op_locations(module: Module) -> Dict[int, Tuple[str, str, Operation]]:

@@ -29,8 +29,22 @@ from typing import Dict, Iterator, Optional, Sequence
 
 from ..analysis.pointsto import TIERS, PointsToResult, solve_pointsto
 from ..ir import Module
-from .diagnostics import Diagnostic, DiagnosticReport, Severity
+from .diagnostics import (
+    Diagnostic,
+    DiagnosticReport,
+    Severity,
+    register_rule,
+)
 from .runner import LintContext, LintPass, register_pass
+
+register_rule(
+    "ptdiff-subset",
+    "sharper points-to tier claims objects the coarser tier does not",
+)
+register_rule(
+    "ptdiff-oracle",
+    "dynamic profile observed an object the static tier never claims",
+)
 
 
 def tier_solutions(

@@ -52,6 +52,9 @@ class LintContext:
         self._objects: Optional[ObjectTable] = None
         self._intervals: Optional[IntervalAnalysis] = None
         self._static_profile = None
+        self._execution_bounds = None
+        self._access_regions: Dict[str, object] = {}
+        self._modref: Dict[str, object] = {}
 
     def cfg(self, func: Function) -> CFG:
         if func.name not in self._cfg:
@@ -113,6 +116,43 @@ class LintContext:
                 self.module, pointsto=self.pointsto()
             )
         return self._static_profile
+
+    def execution_bounds(self):
+        """Whole-program block execution bounds (shared across tiers —
+        the interval fixpoint under the coarsest tier contains every
+        sharper tier's, so one solve serves all region analyses)."""
+        if self._execution_bounds is None:
+            from ..analysis.dataflow.regions import ExecutionBounds
+
+            self._execution_bounds = ExecutionBounds(
+                self.module, pointsto=self.pointsto()
+            )
+        return self._execution_bounds
+
+    def access_regions(self, tier: str = "andersen"):
+        """Per-op static byte regions under one points-to tier."""
+        if tier not in self._access_regions:
+            from ..analysis.dataflow.regions import AccessRegionAnalysis
+
+            self._access_regions[tier] = AccessRegionAnalysis(
+                self.module,
+                pointsto=self.pointsto(tier),
+                bounds=self.execution_bounds(),
+            )
+        return self._access_regions[tier]
+
+    def modref(self, tier: str = "andersen"):
+        """Interprocedural region-level MOD/REF summaries under one
+        points-to tier, computed once per context across all passes."""
+        if tier not in self._modref:
+            from ..analysis.modref import ModRefAnalysis
+
+            self._modref[tier] = ModRefAnalysis(
+                self.module,
+                pointsto=self.pointsto(tier),
+                regions=self.access_regions(tier),
+            )
+        return self._modref[tier]
 
     def objects(self) -> ObjectTable:
         if self._objects is None:

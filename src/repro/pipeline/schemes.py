@@ -103,6 +103,9 @@ class SchemeOutcome:
         else:
             self.timings = {"rhop": float(timings)}
         self.rhop_runs = rhop_runs
+        #: Data-movement roofline summary (``evalmodel.roofline``), set by
+        #: the scheme runners once the move count is known.
+        self.roofline: Optional[Dict[str, float]] = None
 
     @property
     def rhop_seconds(self) -> float:
@@ -173,6 +176,17 @@ def run_scheme(
             prepared, machine, rhop_config, validate=validate, faults=faults
         )
     raise ValueError(f"unknown scheme {scheme!r} (see SCHEME_TABLE)")
+
+
+def _with_roofline(
+    prepared: PreparedProgram, outcome: SchemeOutcome
+) -> SchemeOutcome:
+    """Price the outcome's data movement against the program's I/O lower
+    bound (one memoized model per prepared program serves all schemes)."""
+    from ..evalmodel.roofline import roofline_for
+
+    outcome.roofline = roofline_for(prepared).report(outcome.dynamic_moves)
+    return outcome
 
 
 def _require_valid(report: DiagnosticReport, phase: str) -> None:
@@ -253,10 +267,10 @@ def run_unified(
         )
     if validate:
         _validate_final(machine, module, result.assignment)
-    return SchemeOutcome(
+    return _with_roofline(prepared, SchemeOutcome(
         "unified", machine, module, result.assignment, None, eval_result,
         timer.timings, 1,
-    )
+    ))
 
 
 def run_gdp(
@@ -318,10 +332,10 @@ def run_gdp(
         )
     if validate:
         _validate_final(machine, module, result.assignment)
-    return SchemeOutcome(
+    return _with_roofline(prepared, SchemeOutcome(
         "gdp", machine, module, result.assignment, dict(object_home),
         eval_result, timer.timings, 1,
-    )
+    ))
 
 
 def run_profile_max(
@@ -381,10 +395,10 @@ def run_profile_max(
         )
     if validate:
         _validate_final(machine, module2, second.assignment)
-    return SchemeOutcome(
+    return _with_roofline(prepared, SchemeOutcome(
         "profilemax", machine, module2, second.assignment, object_home,
         eval_result, timer.timings, 2,
-    )
+    ))
 
 
 def _greedy_profile_homes(
@@ -523,7 +537,7 @@ def run_naive(
         )
     if validate:
         _validate_final(machine, module, assignment)
-    return SchemeOutcome(
+    return _with_roofline(prepared, SchemeOutcome(
         "naive", machine, module, assignment, object_home, eval_result,
         timer.timings, 1,
-    )
+    ))

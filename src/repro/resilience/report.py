@@ -136,6 +136,17 @@ class RunReport:
         :meth:`PointsToStats.to_dict`)."""
         self._event("pointsto", tier=tier, stats=dict(stats))
 
+    def record_roofline(self, scheme: str, stats: Dict[str, Any]) -> None:
+        """Record the data-movement roofline of the scheme that answered
+        the run (``stats`` as from
+        :meth:`~repro.evalmodel.roofline.RooflineModel.report`).  Every
+        field is seed-determined, so the event survives deterministic
+        serialisation unscrubbed."""
+        self._event("roofline", scheme=scheme, stats=dict(stats))
+
+    def roofline_events(self) -> List[Dict[str, Any]]:
+        return [e for e in self.events if e["kind"] == "roofline"]
+
     def record_cache(self, kind: str, status: str, detail: str = "") -> None:
         """Record an artifact-cache consultation (``kind`` is ``prepared``
         or ``outcome``; ``status`` is ``hit`` / ``miss`` / ``stale``).

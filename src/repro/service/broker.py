@@ -751,6 +751,20 @@ class Broker:
                 "parked": self.parked,
                 "journal_errors": self.journal_errors,
             }
+            ratios = [
+                job.result["roofline_ratio"]
+                for job in self._jobs.values()
+                if job.result is not None
+                and job.result.get("roofline_ratio")
+            ]
+            roofline = {
+                "jobs": len(ratios),
+                "min_ratio": round(min(ratios), 4) if ratios else None,
+                "max_ratio": round(max(ratios), 4) if ratios else None,
+                "mean_ratio": (
+                    round(sum(ratios) / len(ratios), 4) if ratios else None
+                ),
+            }
             alive = sum(1 for t in self._workers if t.is_alive())
         journal = (
             self.journal.stats() if self.journal is not None
@@ -767,6 +781,7 @@ class Broker:
             "queue": self.queue.stats(),
             "workers": {"pool": self._worker_count, "alive": alive},
             "cache": self.cache.stats(),
+            "roofline": roofline,
         }
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid

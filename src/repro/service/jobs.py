@@ -223,6 +223,7 @@ class Job:
             "ran_as": cell["ran_as"],
             "cycles": cell["cycles"],
             "dynamic_moves": cell["dynamic_moves"],
+            "roofline_ratio": cell.get("roofline_ratio"),
             "error": cell["error"],
         }
 

@@ -501,3 +501,149 @@ class TestStaticProfileMode:
             and f.get("to") == "profile:static"
             for f in report.fallbacks()
         )
+
+
+# -- trip-count / bound edge cases (PR 9) --------------------------------------------
+
+
+class TestTripCountEdgeCases:
+    def test_negative_induction_step_bounded(self):
+        """A countdown loop (negative net progress) gets a finite,
+        containing bound from the same induction-step machinery."""
+        src = """
+        int out[32];
+        int main() {
+          int s = 0;
+          for (int i = 31; i >= 0; i = i - 1) {
+            out[i] = s;
+            s = s + 1;
+          }
+          return s;
+        }
+        """
+        module = compile_source(src, "t")
+        bounds = ExecutionBounds(module)
+        profile = interpret(module)
+        finite = True
+        for (fname, bname), count in profile.block_counts.items():
+            bound = bounds.block_bound(fname, bname)
+            assert count <= bound, (fname, bname, count, bound)
+            finite = finite and not math.isinf(bound)
+        assert finite  # the countdown was recognised, not widened away
+
+    def test_negative_step_with_stride_two(self):
+        src = """
+        int main() {
+          int s = 0;
+          for (int i = 19; i > 0; i = i - 2) { s = s + i; }
+          return s;
+        }
+        """
+        module = compile_source(src, "t")
+        bounds = ExecutionBounds(module)
+        profile = interpret(module)
+        for (fname, bname), count in profile.block_counts.items():
+            bound = bounds.block_bound(fname, bname)
+            assert count <= bound
+            assert not math.isinf(bound)
+
+    def test_mixed_step_direction_defeats_trip_count(self):
+        """An induction variable stepped up on one path and down on the
+        other has no strict progress — the loop bound must widen to inf
+        rather than invent a finite trip count."""
+        src = """
+        int main() {
+          int i = 0;
+          int n = 0;
+          while (i < 8) {
+            if (n) { i = i - 1; } else { i = i + 1; }
+            n = 0;
+          }
+          return i;
+        }
+        """
+        module = compile_source(src, "t")
+        bounds = ExecutionBounds(module)
+        header_bounds = [
+            bounds.block_bound("main", name)
+            for name in module.function("main").blocks
+        ]
+        assert any(math.isinf(b) for b in header_bounds)
+
+    def test_irreducible_edge_bailout(self):
+        """A retreating edge into the middle of another block's cycle is
+        invisible to natural-loop detection — every block bound in that
+        function must widen to inf (sound bailout), while the estimates
+        stay finite."""
+        from repro.ir import Function, IRBuilder, Module
+        from repro.ir.types import INT
+
+        func = Function("main", [], INT)
+        b = IRBuilder(func)
+        entry = b.new_block("entry")
+        left = b.new_block("left")
+        right = b.new_block("right")
+        done = b.new_block("done")
+        b.set_block(entry)
+        cond = b.cmp("lt", b.const(1), b.const(2))
+        b.cbr(cond, left, right)
+        # left <-> right form a two-block cycle entered at *both* nodes:
+        # neither header dominates the other, so the retreating edge is
+        # irreducible.
+        b.set_block(left)
+        c2 = b.cmp("lt", b.const(3), b.const(4))
+        b.cbr(c2, right, done)
+        b.set_block(right)
+        c3 = b.cmp("lt", b.const(5), b.const(6))
+        b.cbr(c3, left, done)
+        b.set_block(done)
+        b.ret(b.const(0))
+        module = Module("irreducible")
+        module.add_function(func)
+
+        bounds = ExecutionBounds(module)
+        assert bounds._irreducible["main"]
+        for name in ("left", "right", "done"):
+            assert math.isinf(bounds.block_bound("main", name))
+        assert bounds.block_estimate("main", "left") >= 1
+
+    def test_adjacent_affine_slots_stay_distinct(self):
+        """``coalesce_intervals`` merges overlap but keeps adjacency:
+        distinct pointer-table slots ([0,4) vs [4,8)) survive as separate
+        regions — the property region splittability is built on."""
+        from repro.analysis.affine import coalesce_intervals
+
+        assert coalesce_intervals([(4, 8), (0, 4)]) == [(0, 4), (4, 8)]
+        assert coalesce_intervals([(0, 6), (4, 8)]) == [(0, 8)]
+        assert coalesce_intervals([(0, 4), (4, 8), (6, 12), (16, 20)]) == [
+            (0, 4), (4, 12), (16, 20),
+        ]
+
+    def test_pointer_table_regions_decompose_per_slot(self):
+        """End to end: the two stores into a two-slot pointer table read
+        back as two adjacent-but-disjoint byte regions of the table."""
+        from repro.analysis.dataflow import AccessRegionAnalysis
+
+        src = """
+        int a[4];
+        int b[4];
+        int *tab[2];
+        int main() {
+          tab[0] = a;
+          tab[1] = b;
+          int *p = tab[0];
+          int *q = tab[1];
+          return p[0] + q[0];
+        }
+        """
+        module = compile_source(src, "t")
+        annotate_memory_ops(module)
+        regions = AccessRegionAnalysis(module)
+        tab_regions = sorted(
+            region
+            for per_obj in regions.op_regions.values()
+            for obj, region in per_obj.items()
+            if obj == "g:tab" and region is not None
+        )
+        assert (0, 4) in tab_regions
+        assert (4, 8) in tab_regions
